@@ -1,0 +1,135 @@
+// dlmon runs the decentralized monitoring algorithm over a recorded trace
+// set: one monitor process per program process, communicating over an
+// in-memory or loopback-TCP network, and reports the verdict set plus the
+// overhead metrics of Chapter 5.
+//
+// Usage:
+//
+//	tracegen -n 3 -events 10 -plant -o t.gob
+//	dlmon -trace t.gob 'F (P0.p && P1.p && P2.p)'
+//	dlmon -trace t.gob -case B -tcp -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/central"
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+	"decentmon/internal/lattice"
+	"decentmon/internal/ltl"
+	"decentmon/internal/props"
+	"decentmon/internal/transport"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace set file (.json or .gob) from tracegen")
+		caseProp  = flag.String("case", "", "use a case-study property A..F instead of a formula argument")
+		shape     = flag.String("shape", "minimal", "automaton construction: minimal or paper")
+		tcp       = flag.Bool("tcp", false, "run monitors over loopback TCP instead of in-memory channels")
+		replic    = flag.Bool("replicated", false, "use the replicated-broadcast baseline mode")
+		noFin     = flag.Bool("nofinalize", false, "skip extending views to the final cut")
+		pace      = flag.Float64("pace", 0, "real-time replay scale (simulated seconds × pace = wall seconds)")
+		compare   = flag.Bool("compare", false, "also run the oracle and the centralized baseline and compare")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: dlmon -trace FILE [-case A..F | 'formula'] [flags]")
+		os.Exit(2)
+	}
+	ts, err := dist.LoadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var formula string
+	switch {
+	case *caseProp != "":
+		formula, err = props.Formula(*caseProp, ts.N())
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		formula = flag.Arg(0)
+	default:
+		fatal(fmt.Errorf("need -case or a formula argument"))
+	}
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		fatal(err)
+	}
+	var mon *automaton.Monitor
+	if *shape == "paper" {
+		mon, err = automaton.BuildProgression(f, ts.Props.Names)
+	} else {
+		mon, err = automaton.Build(f, ts.Props.Names)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.RunConfig{
+		Traces:       ts,
+		Automaton:    mon,
+		SkipFinalize: *noFin,
+		Pace:         *pace,
+	}
+	if *replic {
+		cfg.Mode = core.ModeReplicated
+	}
+	if *tcp {
+		nw, err := transport.NewTCPNetwork(ts.N())
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Network = nw
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("property       : %s\n", formula)
+	fmt.Printf("processes      : %d, events: %d\n", ts.N(), ts.TotalEvents())
+	fmt.Printf("verdicts       : %v\n", res.VerdictList())
+	fmt.Printf("monitor msgs   : %d (%d bytes)\n", res.NetMessages, res.NetBytes)
+	if res.FirstConclusive > 0 {
+		fmt.Printf("first verdict  : after %v\n", res.FirstConclusive)
+	}
+	gv, searches, hops := 0, 0, 0
+	for _, m := range res.Metrics {
+		gv += m.GlobalViewsCreated
+		searches += m.SearchesLaunched
+		hops += m.TokenHops
+	}
+	fmt.Printf("global views   : %d, searches: %d, token hops: %d\n", gv, searches, hops)
+
+	if *compare {
+		oracle, err := lattice.Evaluate(ts, mon)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("oracle         : %v over %d lattice cuts\n", oracle.Verdicts, oracle.NumCuts)
+		cen, err := central.Run(ts, mon)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("centralized    : %d msgs, %d lattice nodes\n", cen.Messages, cen.NodesCreated)
+		match := len(res.Verdicts) == len(oracle.VerdictSet())
+		for v := range oracle.VerdictSet() {
+			if !res.Verdicts[v] {
+				match = false
+			}
+		}
+		fmt.Printf("sound+complete : %v\n", match)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlmon:", err)
+	os.Exit(1)
+}

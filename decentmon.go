@@ -1,0 +1,243 @@
+// Package decentmon is a complete implementation of "Decentralized Runtime
+// Verification of LTL Specifications in Distributed Systems" (IPDPS 2015 /
+// Hasabelnaby's 2016 thesis): sound and complete runtime verification of
+// LTL3 properties over the global state of an asynchronous message-passing
+// program, with a fully decentralized monitor — one monitor process per
+// program process, each holding a replica of the monitor automaton and
+// exchanging tokens to detect global-state predicates.
+//
+// The package is a facade over the internal building blocks:
+//
+//	internal/ltl        LTL parser and AST
+//	internal/automaton  LTL3 monitor synthesis (minimal and paper-shape)
+//	internal/dist       distributed program model, traces, workload generator
+//	internal/lattice    computation lattice and the ground-truth oracle
+//	internal/core       the decentralized monitoring algorithm
+//	internal/central    the centralized baseline
+//	internal/transport  in-memory and TCP monitor networks
+//
+// A minimal end-to-end run:
+//
+//	props := decentmon.PerProcessProps(3, "p", "q")
+//	spec, _ := decentmon.Compile("F (P0.p && P1.p && P2.p)", props)
+//	traces := decentmon.Generate(decentmon.GenConfig{N: 3, InternalPerProc: 10, CommMu: 3, PlantGoal: true})
+//	res, _ := decentmon.Run(spec, traces)
+//	fmt.Println(res.VerdictList()) // e.g. [T ?]
+//
+// Soundness and completeness can be checked against the oracle:
+//
+//	oracle, _ := decentmon.Oracle(spec, traces)  // exact verdict set over all lattice paths
+package decentmon
+
+import (
+	"fmt"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+	"decentmon/internal/lattice"
+	"decentmon/internal/ltl"
+	"decentmon/internal/props"
+	"decentmon/internal/transport"
+)
+
+// Re-exported types. Aliases keep the internal packages as the single source
+// of truth while giving users one import.
+type (
+	// Verdict is the three-valued LTL3 evaluation result.
+	Verdict = automaton.Verdict
+	// Automaton is an LTL3 monitor Moore machine (Definition 12).
+	Automaton = automaton.Monitor
+	// Transition is a symbolic conjunctive monitor transition.
+	Transition = automaton.Transition
+	// PropMap binds atomic propositions to owning processes.
+	PropMap = dist.PropMap
+	// TraceSet is a complete recorded execution of a distributed program.
+	TraceSet = dist.TraceSet
+	// Trace is one process's event sequence.
+	Trace = dist.Trace
+	// Event is one internal/send/receive event with its vector clock.
+	Event = dist.Event
+	// GenConfig parameterizes the case-study workload generator (§5.2).
+	GenConfig = dist.GenConfig
+	// RunResult is the outcome of a decentralized run.
+	RunResult = core.RunResult
+	// MonitorMetrics are one monitor's overhead counters.
+	MonitorMetrics = core.Metrics
+	// OracleResult is the ground-truth evaluation of an execution.
+	OracleResult = lattice.Result
+	// Network is a monitor communication substrate.
+	Network = transport.Network
+)
+
+// The three verdicts of LTL3 (Definition 11).
+const (
+	Top     = automaton.Top     // ⊤: every extension satisfies the property
+	Bottom  = automaton.Bottom  // ⊥: every extension violates it
+	Unknown = automaton.Unknown // ?: inconclusive
+)
+
+// Spec is a compiled property: an LTL formula over a proposition space plus
+// its synthesized monitor automaton.
+type Spec struct {
+	Formula string
+	Props   *PropMap
+	mon     *Automaton
+}
+
+// CompileOption tunes property compilation.
+type CompileOption func(*compileCfg)
+
+type compileCfg struct{ paperShape bool }
+
+// PaperShape selects the formula-progression construction used by the
+// paper's own monitor generator (non-minimal machines with diagnostic
+// ?-states, matching Figs. 2.3/5.2/5.3 and Table 5.1). The default is the
+// minimal LTL3 Moore machine; both have identical verdict semantics.
+func PaperShape() CompileOption { return func(c *compileCfg) { c.paperShape = true } }
+
+// Compile parses an LTL formula and synthesizes its monitor over the given
+// proposition space.
+func Compile(formula string, pm *PropMap, opts ...CompileOption) (*Spec, error) {
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		return nil, err
+	}
+	var mon *Automaton
+	if cfg.paperShape {
+		mon, err = automaton.BuildProgression(f, pm.Names)
+	} else {
+		mon, err = automaton.Build(f, pm.Names)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{Formula: formula, Props: pm, mon: mon}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(formula string, pm *PropMap, opts ...CompileOption) *Spec {
+	s, err := Compile(formula, pm, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Automaton returns the compiled monitor automaton.
+func (s *Spec) Automaton() *Automaton { return s.mon }
+
+// Dot renders the monitor automaton in Graphviz format.
+func (s *Spec) Dot(name string) string { return s.mon.Dot(name) }
+
+// Describe renders a human-readable summary of the monitor.
+func (s *Spec) Describe() string { return s.mon.Describe() }
+
+// NewProps returns an empty proposition space; add propositions with Add.
+func NewProps() *PropMap { return dist.NewPropMap() }
+
+// PerProcessProps builds the standard space where each of n processes owns
+// one proposition per suffix: P0.p, P0.q, P1.p, ...
+func PerProcessProps(n int, suffixes ...string) *PropMap {
+	return dist.PerProcess(n, suffixes...)
+}
+
+// Generate produces a reproducible execution of the §5.1 case-study
+// program: normal-distribution waits, broadcast communication events, two
+// boolean propositions per process.
+func Generate(cfg GenConfig) *TraceSet { return dist.Generate(cfg) }
+
+// LoadTraces reads a trace set saved by (*TraceSet).SaveFile.
+func LoadTraces(path string) (*TraceSet, error) { return dist.LoadFile(path) }
+
+// RunningExample returns the paper's Fig. 2.1 two-process program, and
+// RunningExampleProperty its Fig. 2.3 property.
+func RunningExample() *TraceSet { return dist.RunningExample() }
+
+// RunningExampleProperty is ψ = G((x1≥5) → ((x2≥15) U (x1=10))).
+const RunningExampleProperty = dist.RunningExampleProperty
+
+// CaseStudyProperty returns the LTL text of one of the paper's six
+// evaluation properties ("A".."F") for n processes, over
+// PerProcessProps(n, "p", "q").
+func CaseStudyProperty(name string, n int) (string, error) {
+	return props.Formula(name, n)
+}
+
+// RunOption tunes a decentralized run.
+type RunOption func(*core.RunConfig)
+
+// WithNetwork supplies a transport (e.g. NewTCPNetwork) instead of the
+// default in-memory one.
+func WithNetwork(nw Network) RunOption {
+	return func(c *core.RunConfig) { c.Network = nw }
+}
+
+// Replicated switches to the exhaustive broadcast baseline (every monitor
+// receives every event and evaluates the full lattice).
+func Replicated() RunOption {
+	return func(c *core.RunConfig) { c.Mode = core.ModeReplicated }
+}
+
+// WithoutFinalization skips extending surviving views to the final cut;
+// monitors then report only what the token machinery detected online.
+func WithoutFinalization() RunOption {
+	return func(c *core.RunConfig) { c.SkipFinalize = true }
+}
+
+// WithPace replays events in real time scaled by the factor (simulated
+// seconds × pace = wall seconds).
+func WithPace(pace float64) RunOption {
+	return func(c *core.RunConfig) { c.Pace = pace }
+}
+
+// Run deploys one monitor per process, replays the traces, and returns the
+// union verdict set plus per-monitor overhead metrics.
+func Run(spec *Spec, ts *TraceSet, opts ...RunOption) (*RunResult, error) {
+	if err := checkSpecTraces(spec, ts); err != nil {
+		return nil, err
+	}
+	cfg := core.RunConfig{Traces: ts, Automaton: spec.mon}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Run(cfg)
+}
+
+// Oracle computes the exact verdict set over every path of the execution's
+// computation lattice (Chapter 3) — the ground truth that a sound and
+// complete decentralized run must reproduce.
+func Oracle(spec *Spec, ts *TraceSet) (*OracleResult, error) {
+	if err := checkSpecTraces(spec, ts); err != nil {
+		return nil, err
+	}
+	return lattice.Evaluate(ts, spec.mon)
+}
+
+// NewChanNetwork returns an in-memory monitor network for n processes.
+func NewChanNetwork(n int) Network { return transport.NewChanNetwork(n) }
+
+// NewTCPNetwork returns a loopback TCP monitor network for n processes.
+func NewTCPNetwork(n int) (Network, error) { return transport.NewTCPNetwork(n) }
+
+func checkSpecTraces(spec *Spec, ts *TraceSet) error {
+	if spec == nil || spec.mon == nil {
+		return fmt.Errorf("decentmon: nil spec")
+	}
+	if ts == nil || ts.Props == nil {
+		return fmt.Errorf("decentmon: nil trace set")
+	}
+	if len(spec.mon.Props) != ts.Props.Len() {
+		return fmt.Errorf("decentmon: spec has %d propositions, traces declare %d", len(spec.mon.Props), ts.Props.Len())
+	}
+	for i, p := range spec.mon.Props {
+		if ts.Props.Names[i] != p {
+			return fmt.Errorf("decentmon: proposition %d mismatch: %q vs %q", i, p, ts.Props.Names[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Quickstart: compile an LTL3 property, generate a distributed execution,
+// monitor it with one decentralized monitor per process, and check the
+// result against the ground-truth oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decentmon"
+)
+
+func main() {
+	// Three processes, each owning boolean propositions p and q.
+	props := decentmon.PerProcessProps(3, "p", "q")
+
+	// "Eventually all three processes raise p at the same (consistent
+	// global) instant" — property B of the paper's case study.
+	spec, err := decentmon.Compile("F (P0.p && P1.p && P2.p)", props)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(spec.Describe())
+
+	// A reproducible execution: 12 valuation changes per process with ~3s
+	// gaps, broadcast communication every ~3s, and the goal planted at the
+	// end (as the paper's designed traces do).
+	traces := decentmon.Generate(decentmon.GenConfig{
+		N: 3, InternalPerProc: 12,
+		EvtMu: 3, EvtSigma: 1,
+		CommMu: 3, CommSigma: 1,
+		PlantGoal: true, Seed: 42,
+	})
+	fmt.Printf("execution: %d processes, %d events\n\n", traces.N(), traces.TotalEvents())
+
+	// Decentralized run: one monitor per process over an in-memory network.
+	res, err := decentmon.Run(spec, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decentralized verdicts : %v\n", res.VerdictList())
+	fmt.Printf("monitoring messages    : %d (%d bytes)\n", res.NetMessages, res.NetBytes)
+	for i, m := range res.Metrics {
+		fmt.Printf("  monitor %d: %d events, %d searches, %d token hops, %d views\n",
+			i, m.EventsProcessed, m.SearchesLaunched, m.TokenHops, m.GlobalViewsCreated)
+	}
+
+	// The oracle evaluates every path of the computation lattice; a sound
+	// and complete decentralized run reports exactly its verdict set.
+	oracle, err := decentmon.Oracle(spec, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noracle verdicts        : %v (over %d consistent cuts)\n",
+		oracle.Verdicts, oracle.NumCuts)
+}

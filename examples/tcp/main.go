@@ -1,0 +1,58 @@
+// Monitors over real sockets: the decentralized algorithm running on a
+// loopback TCP network (the stdlib-net analogue of the paper's WiFi
+// peer-to-peer links), checking the mutual-exclusion safety property
+//
+//	G !(P0.p && P1.p && P2.p && P3.p)
+//
+// ("never do all four processes hold the resource concurrently") on a
+// generated execution that violates it at the planted end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"decentmon"
+)
+
+func main() {
+	const n = 4
+	props := decentmon.PerProcessProps(n, "p", "q")
+	spec, err := decentmon.Compile("G !(P0.p && P1.p && P2.p && P3.p)", props)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	traces := decentmon.Generate(decentmon.GenConfig{
+		N: n, InternalPerProc: 10,
+		EvtMu: 3, EvtSigma: 1,
+		CommMu: 3, CommSigma: 1,
+		TrueProbs: map[string]float64{"p": 0.4, "q": 0.5},
+		PlantGoal: true, // forces the all-p global state at the end: a violation
+		Seed:      11,
+	})
+
+	nw, err := decentmon.NewTCPNetwork(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d monitors connected over loopback TCP\n", n)
+
+	start := time.Now()
+	res, err := decentmon.Run(spec, traces, decentmon.WithNetwork(nw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdicts: %v in %v\n", res.VerdictList(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("monitoring traffic: %d messages, %d bytes over TCP\n", res.NetMessages, res.NetBytes)
+
+	oracle, err := decentmon.Oracle(spec, traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle agrees: %v\n", oracle.Verdicts)
+	if res.Verdicts[decentmon.Bottom] {
+		fmt.Println("mutual-exclusion violation correctly detected over the socket network")
+	}
+}

@@ -1,0 +1,53 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the monitor in Graphviz DOT format, mirroring the figures of
+// the paper (Figs. 2.3, 5.2, 5.3): states labelled q<i> with their verdict,
+// transitions labelled by their conjunctive guards.
+func (m *Monitor) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	b.WriteString("  init [shape=point];\n  init -> q0;\n")
+	for s := 0; s < m.NumStates(); s++ {
+		shape := "circle"
+		if m.Final(s) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s,label=\"q%d\\n%s\"];\n", s, shape, s, m.verdicts[s])
+	}
+	for _, t := range m.transitions {
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", t.Src, t.Dst, t.Guard.Format(m.Props))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Describe renders a human-readable text summary of the monitor: one line
+// per state with its verdict, followed by its transitions.
+func (m *Monitor) Describe() string {
+	var b strings.Builder
+	total, outgoing, self := m.CountTransitions()
+	fmt.Fprintf(&b, "monitor for %s\n", m.Formula)
+	fmt.Fprintf(&b, "propositions: %s\n", strings.Join(m.Props, ", "))
+	fmt.Fprintf(&b, "states: %d, transitions: %d (%d outgoing, %d self-loop)\n",
+		m.NumStates(), total, outgoing, self)
+	for s := 0; s < m.NumStates(); s++ {
+		fmt.Fprintf(&b, "q%d [%s]%s\n", s, m.verdicts[s], map[bool]string{true: " (initial)"}[s == 0])
+		out := m.Out(s)
+		sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+		for _, t := range out {
+			kind := "   "
+			if t.SelfLoop() {
+				kind = "  ~"
+			}
+			fmt.Fprintf(&b, "%s %s -> q%d\n", kind, t.Guard.Format(m.Props), t.Dst)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package automaton
+
+import (
+	"fmt"
+
+	"decentmon/internal/ltl"
+)
+
+// EvalLasso decides γ ⊨ f (standard infinite-trace LTL semantics,
+// Definition 9) for the ultimately-periodic word
+//
+//	γ = word[0..loopStart-1] · (word[loopStart..])^ω
+//
+// over the given proposition indexing. It is an independent reference
+// implementation used by the test suite to validate synthesized monitors:
+// whenever the monitor reports ⊤ (resp. ⊥) on a finite prefix, every lasso
+// extension must satisfy (resp. violate) the formula.
+//
+// Temporal fixpoints on the loop are solved by bounded iteration: least
+// fixpoint for U (seeded false), greatest for R (seeded true); |word|+1
+// backward passes suffice for convergence.
+func EvalLasso(f *ltl.Formula, props []string, word []uint32, loopStart int) bool {
+	if len(word) == 0 {
+		panic("automaton: EvalLasso needs a non-empty word")
+	}
+	if loopStart < 0 || loopStart >= len(word) {
+		panic(fmt.Sprintf("automaton: loopStart %d out of range [0,%d)", loopStart, len(word)))
+	}
+	propIdx := make(map[string]int, len(props))
+	for i, p := range props {
+		propIdx[p] = i
+	}
+	e := &lassoEval{
+		word:    word,
+		loop:    loopStart,
+		propIdx: propIdx,
+		memo:    map[string][]bool{},
+	}
+	return e.eval(f)[0]
+}
+
+type lassoEval struct {
+	word    []uint32
+	loop    int
+	propIdx map[string]int
+	memo    map[string][]bool
+}
+
+func (e *lassoEval) succ(i int) int {
+	if i == len(e.word)-1 {
+		return e.loop
+	}
+	return i + 1
+}
+
+func (e *lassoEval) eval(f *ltl.Formula) []bool {
+	key := f.String()
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	k := len(e.word)
+	v := make([]bool, k)
+	switch f.Kind {
+	case ltl.KTrue:
+		for i := range v {
+			v[i] = true
+		}
+	case ltl.KFalse:
+		// all false
+	case ltl.KProp:
+		bit, ok := e.propIdx[f.Name]
+		if !ok {
+			panic(fmt.Sprintf("automaton: proposition %q not declared", f.Name))
+		}
+		for i := range v {
+			v[i] = e.word[i]&(1<<bit) != 0
+		}
+	case ltl.KNot:
+		sub := e.eval(f.L)
+		for i := range v {
+			v[i] = !sub[i]
+		}
+	case ltl.KAnd:
+		l, r := e.eval(f.L), e.eval(f.R)
+		for i := range v {
+			v[i] = l[i] && r[i]
+		}
+	case ltl.KOr:
+		l, r := e.eval(f.L), e.eval(f.R)
+		for i := range v {
+			v[i] = l[i] || r[i]
+		}
+	case ltl.KNext:
+		sub := e.eval(f.L)
+		for i := range v {
+			v[i] = sub[e.succ(i)]
+		}
+	case ltl.KUntil, ltl.KEvent:
+		// F g ≡ true U g.
+		var l, r []bool
+		if f.Kind == ltl.KEvent {
+			l = make([]bool, k)
+			for i := range l {
+				l[i] = true
+			}
+			r = e.eval(f.L)
+		} else {
+			l = e.eval(f.L)
+			r = e.eval(f.R)
+		}
+		// least fixpoint, seeded false
+		for pass := 0; pass <= k; pass++ {
+			changed := false
+			for i := k - 1; i >= 0; i-- {
+				nv := r[i] || (l[i] && v[e.succ(i)])
+				if nv != v[i] {
+					v[i] = nv
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	case ltl.KRelease, ltl.KAlways:
+		var l, r []bool
+		if f.Kind == ltl.KAlways {
+			l = make([]bool, k) // all false
+			r = e.eval(f.L)
+		} else {
+			l = e.eval(f.L)
+			r = e.eval(f.R)
+		}
+		// greatest fixpoint, seeded true
+		for i := range v {
+			v[i] = true
+		}
+		for pass := 0; pass <= k; pass++ {
+			changed := false
+			for i := k - 1; i >= 0; i-- {
+				nv := r[i] && (l[i] || v[e.succ(i)])
+				if nv != v[i] {
+					v[i] = nv
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	default:
+		panic("automaton: unexpected formula kind " + f.Kind.String())
+	}
+	e.memo[key] = v
+	return v
+}

@@ -1,0 +1,45 @@
+package automaton
+
+import (
+	"sort"
+
+	"decentmon/internal/boolfn"
+)
+
+// buildSymbolic converts the explicit transition function into symbolic
+// conjunctive transitions: for every (src, dst) pair, the set of letters
+// moving src to dst is minimized into an irredundant DNF, and each cube
+// becomes one Transition. This realizes the paper's requirement that monitor
+// transitions carry *conjunctive* predicates only (disjunctive labels are
+// split into one transition per disjunct, §4.1 footnote 1 and §4.3.3).
+func (m *Monitor) buildSymbolic() {
+	nLetters := 1 << len(m.Props)
+	m.transitions = m.transitions[:0]
+	m.outIdx = make([][]int, len(m.verdicts))
+	for src := range m.verdicts {
+		// Group letters by destination.
+		byDst := map[int][]uint32{}
+		var dsts []int
+		for a := 0; a < nLetters; a++ {
+			d := int(m.delta[src][a])
+			if _, ok := byDst[d]; !ok {
+				dsts = append(dsts, d)
+			}
+			byDst[d] = append(byDst[d], uint32(a))
+		}
+		sort.Ints(dsts)
+		for _, dst := range dsts {
+			dnf := boolfn.Minimize(byDst[dst], len(m.Props))
+			for _, cube := range dnf {
+				t := Transition{
+					ID:    len(m.transitions),
+					Src:   src,
+					Dst:   dst,
+					Guard: cube,
+				}
+				m.transitions = append(m.transitions, t)
+				m.outIdx[src] = append(m.outIdx[src], t.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/lattice"
+	"decentmon/internal/ltl"
+	"decentmon/internal/transport"
+)
+
+// TestNoFinalizeConclusiveCompleteness checks the heart of the paper's
+// claim with the finalization pass disabled: conclusive verdicts (⊤/⊥) must
+// be detected by the token machinery alone, and never unsoundly.
+func TestNoFinalizeConclusiveCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		ts := dist.Generate(dist.GenConfig{
+			N: n, InternalPerProc: 5 + rng.Intn(4),
+			CommMu: 2 + rng.Float64()*5, CommSigma: 1,
+			Seed: rng.Int63(),
+		})
+		f := ltl.RandomFormula(rng, 8, ts.Props.Names)
+		mon, err := automaton.Build(f, ts.Props.Names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lattice.Evaluate(ts, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.VerdictSet()
+		run, err := Run(RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []automaton.Verdict{automaton.Top, automaton.Bottom} {
+			if want[v] && !run.Verdicts[v] {
+				t.Errorf("trial %d: conclusive %v missed without finalization (formula %s)", trial, v, f)
+			}
+			if run.Verdicts[v] && !want[v] {
+				t.Errorf("trial %d: UNSOUND %v (formula %s)", trial, v, f)
+			}
+		}
+	}
+}
+
+// TestNoCommunicationPrograms: without program messages every event pair
+// across processes is concurrent — the hardest case for path exploration
+// (the "No comm" extreme of Fig. 5.9).
+func TestNoCommunicationPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(2)
+		ts := dist.Generate(dist.GenConfig{
+			N: n, InternalPerProc: 4, CommMu: -1, Seed: rng.Int63(),
+		})
+		f := ltl.RandomFormula(rng, 7, ts.Props.Names)
+		mon, err := automaton.Build(f, ts.Props.Names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lattice.Evaluate(ts, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := Run(RunConfig{Traces: ts, Automaton: mon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if setString(run.Verdicts) != setString(want.VerdictSet()) {
+			t.Errorf("trial %d formula %s: got %s want %s", trial, f,
+				setString(run.Verdicts), setString(want.VerdictSet()))
+		}
+	}
+}
+
+// TestWithNetworkLatency injects randomized per-pair delivery delays so
+// tokens, fetches, TERM and FINI messages interleave adversarially.
+func TestWithNetworkLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 3
+		ts := dist.Generate(dist.GenConfig{
+			N: n, InternalPerProc: 5, CommMu: 3, CommSigma: 1,
+			PlantGoal: trial%2 == 0, Seed: rng.Int63(),
+		})
+		f := ltl.RandomFormula(rng, 7, ts.Props.Names)
+		mon, err := automaton.Build(f, ts.Props.Names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lattice.Evaluate(ts, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := transport.NewChanNetwork(n, transport.WithLatency(300*time.Microsecond, 150*time.Microsecond, rng.Int63()))
+		run, err := Run(RunConfig{Traces: ts, Automaton: mon, Network: nw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if setString(run.Verdicts) != setString(want.VerdictSet()) {
+			t.Errorf("trial %d formula %s: got %s want %s", trial, f,
+				setString(run.Verdicts), setString(want.VerdictSet()))
+		}
+	}
+}
+
+// TestFiveProcesses exercises the paper's maximum scale.
+func TestFiveProcesses(t *testing.T) {
+	ts := dist.Generate(dist.GenConfig{
+		N: 5, InternalPerProc: 6, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 2015,
+	})
+	for name, f := range propsAF(5) {
+		mon := mustMonitor(t, f, ts.Props.Names)
+		want := oracleSet(t, ts, mon)
+		res, err := Run(RunConfig{Traces: ts, Automaton: mon})
+		if err != nil {
+			t.Fatalf("prop %s: %v", name, err)
+		}
+		if setString(res.Verdicts) != setString(want) {
+			t.Errorf("prop %s: got %s want %s", name, setString(res.Verdicts), setString(want))
+		}
+	}
+}
+
+// TestDecentralizedOverTCP runs the full algorithm over real loopback
+// sockets.
+func TestDecentralizedOverTCP(t *testing.T) {
+	ts := dist.Generate(dist.GenConfig{
+		N: 3, InternalPerProc: 5, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 7,
+	})
+	mon := mustMonitor(t, propsAF(3)["D"], ts.Props.Names)
+	want := oracleSet(t, ts, mon)
+	nw, err := transport.NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{Traces: ts, Automaton: mon, Network: nw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setString(res.Verdicts) != setString(want) {
+		t.Errorf("TCP run: got %s want %s", setString(res.Verdicts), setString(want))
+	}
+}
+
+// TestRepeatedRunsDeterministicVerdicts: message interleavings vary between
+// runs, but the verdict set must not.
+func TestRepeatedRunsDeterministicVerdicts(t *testing.T) {
+	ts := dist.Generate(dist.GenConfig{
+		N: 3, InternalPerProc: 6, CommMu: 2, CommSigma: 0.5, Seed: 31,
+	})
+	mon := mustMonitor(t, propsAF(3)["A"], ts.Props.Names)
+	first := ""
+	for i := 0; i < 5; i++ {
+		res, err := Run(RunConfig{Traces: ts, Automaton: mon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = setString(res.Verdicts)
+		} else if got := setString(res.Verdicts); got != first {
+			t.Fatalf("run %d verdicts %s != first run %s", i, got, first)
+		}
+	}
+}

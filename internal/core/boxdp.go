@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/vclock"
+)
+
+// boxResult is the outcome of exploring the lattice region between two cuts.
+type boxResult struct {
+	// finalStates are the automaton states reachable at the upper cut.
+	finalStates []int
+	// pivots are the (state, cut) pairs at which an outgoing transition
+	// fired strictly inside the box (the "pivot global states" of §4.5.2);
+	// the monitor forks a global view at each.
+	pivots []pivot
+	// conclusive are the conclusive states hit anywhere in the box.
+	conclusive []int
+	// nodes is the number of consistent cuts visited.
+	nodes int
+}
+
+type pivot struct {
+	q   int
+	cut vclock.VC
+}
+
+// exploreBox runs the exact state-set dynamic program over the consistent
+// cuts D with lo ≤ D ≤ hi, starting from the automaton states init at lo.
+// The monitor's knowledge must cover every event in (lo, hi]. This is the
+// same layered DP as the Chapter-3 oracle, restricted to the box — it is how
+// a monitor turns the event segments gathered by a token into *verified*
+// lattice paths (soundness) while still only ever expanding regions that can
+// change the automaton state.
+//
+// maxNodes bounds the exploration; exceeding it returns an error (the
+// monitor surfaces it — the paper's workloads never approach the bound).
+func exploreBox(mon *automaton.Monitor, know *knowledge, pm letterer, init stateset, lo, hi vclock.VC, maxNodes int) (*boxResult, error) {
+	n := know.n
+	for p := 0; p < n; p++ {
+		if lo[p] > hi[p] {
+			return nil, fmt.Errorf("core: box lower bound %v above upper %v", lo, hi)
+		}
+		if hi[p] > know.len(p) {
+			return nil, fmt.Errorf("core: box upper bound %v not covered by knowledge (process %d has %d events)", hi, p, know.len(p))
+		}
+	}
+	type node struct {
+		cut    vclock.VC
+		states stateset
+	}
+	nStates := mon.NumStates()
+	index := map[string]*node{}
+	start := &node{cut: lo.Clone(), states: newStateset(nStates)}
+	copy(start.states, init)
+	index[lo.Key()] = start
+	queue := []*node{start}
+
+	res := &boxResult{nodes: 1}
+	seenConcl := map[int]bool{}
+	seenPivot := map[string]bool{}
+	for q := 0; q < nStates; q++ {
+		if init.has(q) && mon.Final(q) {
+			seenConcl[q] = true
+		}
+	}
+
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		for p := 0; p < n; p++ {
+			if nd.cut[p] >= hi[p] {
+				continue
+			}
+			if !know.consistentStep(nd.cut, p) {
+				continue
+			}
+			next := nd.cut.Clone()
+			next[p]++
+			key := next.Key()
+			succ, ok := index[key]
+			if !ok {
+				succ = &node{cut: next, states: newStateset(nStates)}
+				index[key] = succ
+				queue = append(queue, succ)
+				res.nodes++
+				if res.nodes > maxNodes {
+					return nil, fmt.Errorf("core: box exploration exceeded %d nodes between %v and %v", maxNodes, lo, hi)
+				}
+			}
+			letter := pm.letterAt(know, next)
+			for st := 0; st < nStates; st++ {
+				if !nd.states.has(st) {
+					continue
+				}
+				nq := mon.Step(st, letter)
+				succ.states.set(nq)
+				if nq != st {
+					// An outgoing transition fired: a pivot global state.
+					pk := fmt.Sprintf("%d|%s", nq, key)
+					if !seenPivot[pk] {
+						seenPivot[pk] = true
+						res.pivots = append(res.pivots, pivot{q: nq, cut: next.Clone()})
+					}
+					if mon.Final(nq) && !seenConcl[nq] {
+						seenConcl[nq] = true
+						res.conclusive = append(res.conclusive, nq)
+					}
+				}
+			}
+		}
+	}
+	top, ok := index[hi.Key()]
+	if !ok {
+		return nil, fmt.Errorf("core: box upper cut %v unreachable from %v", hi, lo)
+	}
+	for st := 0; st < nStates; st++ {
+		if top.states.has(st) {
+			res.finalStates = append(res.finalStates, st)
+		}
+	}
+	return res, nil
+}
+
+// letterer abstracts global-state-to-letter conversion so the explorer can
+// be tested without a full PropMap.
+type letterer interface {
+	letterAt(know *knowledge, cut vclock.VC) uint32
+}
+
+// stateset is a small bitset over automaton states (mirrors the lattice
+// package's private type; duplicated to keep internal packages decoupled).
+type stateset []uint64
+
+func newStateset(n int) stateset { return make(stateset, (n+63)/64) }
+
+func (s stateset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s stateset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// members lists the states contained in the set, ascending.
+func (s stateset) members(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if s.has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// clone returns an independent copy.
+func (s stateset) clone() stateset {
+	t := make(stateset, len(s))
+	copy(t, s)
+	return t
+}
+
+// or unions t into s and reports whether s changed.
+func (s stateset) or(t stateset) bool {
+	changed := false
+	for w := range s {
+		nv := s[w] | t[w]
+		if nv != s[w] {
+			s[w] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// empty reports whether no state is set.
+func (s stateset) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// key renders the set compactly for signatures.
+func (s stateset) key() string {
+	b := make([]byte, 0, 16*len(s))
+	for _, w := range s {
+		for sh := 0; sh < 64; sh += 8 {
+			b = append(b, byte(w>>sh))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"decentmon/internal/dist"
+	"decentmon/internal/vclock"
+)
+
+// knowledge is a monitor's partial view of the whole execution: for every
+// process, a contiguous prefix of its events (its own process's prefix is
+// always complete up to the last event delivered by the program). Token
+// replies carry event segments, which widen this knowledge; the box explorer
+// (boxdp.go) only ever walks regions of the lattice the knowledge covers.
+type knowledge struct {
+	n      int
+	init   dist.GlobalState
+	events [][]*dist.Event // events[p][k] = (k+1)-th event of process p
+	done   []bool          // process p has terminated (no further events)
+	final  []int           // if done[p], total number of events of p
+}
+
+func newKnowledge(n int, init dist.GlobalState) *knowledge {
+	return &knowledge{
+		n:      n,
+		init:   init.Clone(),
+		events: make([][]*dist.Event, n),
+		done:   make([]bool, n),
+		final:  make([]int, n),
+	}
+}
+
+// len returns the length of the known contiguous prefix of process p.
+func (k *knowledge) len(p int) int { return len(k.events[p]) }
+
+// event returns the sn-th event (1-based) of process p; it panics if the
+// event is not known — callers must check coverage first.
+func (k *knowledge) event(p, sn int) *dist.Event {
+	if sn < 1 || sn > len(k.events[p]) {
+		panic(fmt.Sprintf("core: event %d of process %d not known (have %d)", sn, p, len(k.events[p])))
+	}
+	return k.events[p][sn-1]
+}
+
+// append adds the next local event of process p (sequence-checked).
+func (k *knowledge) append(e *dist.Event) error {
+	if e.SN != len(k.events[e.Proc])+1 {
+		return fmt.Errorf("core: process %d event gap: got sn %d, have %d", e.Proc, e.SN, len(k.events[e.Proc]))
+	}
+	k.events[e.Proc] = append(k.events[e.Proc], e)
+	return nil
+}
+
+// merge absorbs a (possibly overlapping) segment of events of one process,
+// keeping the prefix contiguous. Segments always start at or before
+// len+1 in the protocol; gaps are an error.
+func (k *knowledge) merge(p int, seg []*dist.Event) error {
+	for _, e := range seg {
+		switch {
+		case e.SN <= len(k.events[p]):
+			// already known
+		case e.SN == len(k.events[p])+1:
+			k.events[p] = append(k.events[p], e)
+		default:
+			return fmt.Errorf("core: segment gap for process %d: sn %d after %d", p, e.SN, len(k.events[p]))
+		}
+	}
+	return nil
+}
+
+// markDone records that process p has terminated with the given event count.
+func (k *knowledge) markDone(p, total int) {
+	k.done[p] = true
+	k.final[p] = total
+}
+
+// state returns the local state of process p after its sn-th event.
+func (k *knowledge) state(p, sn int) dist.LocalState {
+	if sn <= 0 {
+		return k.init[p]
+	}
+	return k.event(p, sn).State
+}
+
+// stateAt materializes the global state at a cut covered by the knowledge.
+func (k *knowledge) stateAt(cut vclock.VC) dist.GlobalState {
+	g := make(dist.GlobalState, k.n)
+	for p := 0; p < k.n; p++ {
+		g[p] = k.state(p, cut[p])
+	}
+	return g
+}
+
+// covers reports whether every event in (lo, hi] per process is known.
+func (k *knowledge) covers(hi vclock.VC) bool {
+	for p := 0; p < k.n; p++ {
+		if hi[p] > len(k.events[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// consistentStep reports whether extending cut by one event of process p
+// (the event with sn cut[p]+1, which must be known) yields a consistent cut.
+func (k *knowledge) consistentStep(cut vclock.VC, p int) bool {
+	e := k.event(p, cut[p]+1)
+	for j := 0; j < k.n; j++ {
+		lim := cut[j]
+		if j == p {
+			lim = cut[j] + 1
+		}
+		if e.VC[j] > lim {
+			return false
+		}
+	}
+	return true
+}
+
+// finalCut returns the global final cut and true once every process is done.
+func (k *knowledge) finalCut() (vclock.VC, bool) {
+	cut := vclock.New(k.n)
+	for p := 0; p < k.n; p++ {
+		if !k.done[p] {
+			return nil, false
+		}
+		cut[p] = k.final[p]
+	}
+	return cut, true
+}

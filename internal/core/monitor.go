@@ -1,0 +1,981 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/transport"
+	"decentmon/internal/vclock"
+)
+
+// Mode selects the exploration strategy.
+type Mode int
+
+const (
+	// ModeDecentralized is the paper's algorithm: global views advance on
+	// local events, tokens detect predicates of possibly-enabled outgoing
+	// transitions, and the monitor explores only lattice regions that can
+	// change the automaton state.
+	ModeDecentralized Mode = iota
+	// ModeReplicated is the exhaustive baseline: every monitor broadcasts
+	// every local event and evaluates the full lattice at termination. It
+	// is verdict-set-equal to the oracle by construction, at the cost of
+	// n·(n−1)·|E| messages — the ablation benchmarks compare both modes.
+	ModeReplicated
+)
+
+func (m Mode) String() string {
+	if m == ModeReplicated {
+		return "replicated"
+	}
+	return "decentralized"
+}
+
+// Config parameterizes one monitor process Mi.
+type Config struct {
+	// Index is i: the program process this monitor is composed with.
+	Index int
+	// N is the number of processes.
+	N int
+	// Automaton is the (shared, identical) LTL3 monitor automaton.
+	Automaton *automaton.Monitor
+	// Props binds the automaton's propositions to processes.
+	Props *dist.PropMap
+	// Init is the initial global state (an input of Algorithm 1).
+	Init dist.GlobalState
+	// Mode selects decentralized (default) or replicated exploration.
+	Mode Mode
+	// FinalizeFull makes the monitor extend every surviving global view to
+	// the global final cut at termination, so that its verdict set also
+	// reflects inconclusive paths. Without it the monitor reports only the
+	// conclusive verdicts it detected (plus ? if any path remains open).
+	FinalizeFull bool
+	// MaxBoxNodes bounds a single lattice-region exploration (default 2^21).
+	MaxBoxNodes int
+}
+
+// Metrics counts the overhead quantities reported in Chapter 5.
+type Metrics struct {
+	EventsProcessed    int // local events delivered by the program
+	GlobalViewsCreated int // Fig 5.8: memory overhead proxy
+	SearchesLaunched   int // CheckOutgoingTransitions invocations that sent a token
+	TokenHops          int // token transmissions by this monitor (Figs 5.4/5.5)
+	FetchesSent        int // causal-gap segment requests
+	FetchRepliesSent   int
+	FinalizeFetches    int // fetches sent during finalization only
+	BoxExplorations    int
+	BoxNodes           int // total lattice nodes expanded locally
+	DelaySamples       int // samples of the delayed-event queue (Fig 5.7)
+	DelayedEventsSum   int
+	MessagesSent       int // all monitor messages, any kind
+}
+
+// globalView is one point of the exploration: the set of automaton states
+// reachable at the consistent cut via verified lattice paths (§4.2). Keeping
+// a *set* per cut — rather than one view per state — is what realizes the
+// paper's bound that live views stay proportional to the automaton width
+// ("the monitor process maintains a set of possible evaluation verdicts"):
+// views at the same cut always merge (MergeSimilarGlobalViews).
+type globalView struct {
+	states  stateset
+	cut     vclock.VC
+	gstate  dist.GlobalState
+	lastSig string    // §4.3.2: last possibly-enabled-transition signature
+	blocked vclock.VC // non-nil: awaiting knowledge covering this cut
+}
+
+func gvKey(cut vclock.VC) string { return cut.Key() }
+
+// feedItem is one message from the composed program process to its monitor.
+type feedItem struct {
+	event *dist.Event
+	term  bool
+	total int
+}
+
+// Monitor is one decentralized monitor process Mi.
+type Monitor struct {
+	cfg Config
+	ep  transport.Endpoint
+	mon *automaton.Monitor
+	pm  *dist.PropMap
+	gt  *guardTable
+
+	know *knowledge
+	feed chan feedItem
+
+	gvs      map[string]*globalView
+	launched map[string]bool // search dedupe: q|cutKey
+
+	searchSeq     int64
+	outstanding   map[int64]bool   // searches awaiting full resolution
+	searchSig     map[int64]string // searchID -> signature, for suppression
+	activeSig     map[string]int   // outstanding searches per signature
+	inflightFetch map[int]int      // proc -> highest SN already requested
+	waitTokens    []*tokenWire
+	waitFetches   []pendingFetch
+
+	localDone  bool
+	localTotal int
+	peerDone   []bool
+	peerFini   []bool
+	finiSent   bool
+	finalized  bool
+	finalizing bool
+
+	verdictStates map[int]bool
+	verdicts      map[automaton.Verdict]bool
+	initialQ      int
+
+	metrics Metrics
+	// OnConclusive, if set, is called (from the monitor goroutine) the
+	// first time each conclusive automaton state is detected.
+	OnConclusive func(v automaton.Verdict)
+
+	err error
+}
+
+// New creates a monitor attached to the given transport endpoint. The
+// endpoint's ID must equal cfg.Index.
+func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
+	if cfg.N < 1 || cfg.Index < 0 || cfg.Index >= cfg.N {
+		return nil, fmt.Errorf("core: invalid index %d of %d", cfg.Index, cfg.N)
+	}
+	if ep.ID() != cfg.Index {
+		return nil, fmt.Errorf("core: endpoint id %d != index %d", ep.ID(), cfg.Index)
+	}
+	if len(cfg.Init) != cfg.N {
+		return nil, fmt.Errorf("core: initial state has %d entries, want %d", len(cfg.Init), cfg.N)
+	}
+	if cfg.MaxBoxNodes == 0 {
+		cfg.MaxBoxNodes = 1 << 21
+	}
+	m := &Monitor{
+		cfg:           cfg,
+		ep:            ep,
+		mon:           cfg.Automaton,
+		pm:            cfg.Props,
+		gt:            newGuardTable(cfg.Automaton, cfg.Props, cfg.N),
+		know:          newKnowledge(cfg.N, cfg.Init),
+		feed:          make(chan feedItem, 1024),
+		gvs:           map[string]*globalView{},
+		launched:      map[string]bool{},
+		outstanding:   map[int64]bool{},
+		searchSig:     map[int64]string{},
+		activeSig:     map[string]int{},
+		inflightFetch: map[int]int{},
+		peerDone:      make([]bool, cfg.N),
+		peerFini:      make([]bool, cfg.N),
+		verdictStates: map[int]bool{},
+		verdicts:      map[automaton.Verdict]bool{},
+	}
+	return m, nil
+}
+
+// Deliver feeds one local event of the composed program process (safe to
+// call from another goroutine).
+func (m *Monitor) Deliver(e *dist.Event) { m.feed <- feedItem{event: e} }
+
+// EndTrace signals that the program process terminated after total events.
+func (m *Monitor) EndTrace(total int) { m.feed <- feedItem{term: true, total: total} }
+
+// Verdicts returns the verdict set after Run has returned.
+func (m *Monitor) Verdicts() map[automaton.Verdict]bool {
+	out := map[automaton.Verdict]bool{}
+	for v := range m.verdicts {
+		out[v] = true
+	}
+	return out
+}
+
+// FinalStates returns the automaton states this monitor's paths reached
+// (conclusive detections plus, after finalization, final-cut states).
+func (m *Monitor) FinalStates() []int {
+	var out []int
+	for s := range m.verdictStates {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Metrics returns the overhead counters after Run has returned.
+func (m *Monitor) Metrics() Metrics { return m.metrics }
+
+// Run executes the monitor until global termination (all processes done,
+// all searches resolved, FINI exchanged). It returns the first internal
+// error, if any.
+func (m *Monitor) Run() error {
+	// INIT (§4.2.0.2): the initial global view consumes the initial global
+	// state.
+	q0 := m.mon.Step(m.mon.Initial(), m.pm.Letter(m.cfg.Init))
+	if m.mon.Final(q0) {
+		m.recordVerdictState(q0)
+	}
+	if m.cfg.Mode == ModeDecentralized && !m.mon.Final(q0) {
+		init := newStateset(m.mon.NumStates())
+		init.set(q0)
+		m.addGV(init, vclock.New(m.cfg.N), m.cfg.Init.Clone(), true)
+	}
+	m.initialQ = q0
+	m.pump()
+
+	inbox := m.ep.Inbox()
+	for !m.finished() && m.err == nil {
+		select {
+		case item := <-m.feed:
+			if item.term {
+				m.handleLocalTermination(item.total)
+			} else {
+				m.handleLocalEvent(item.event)
+			}
+		case msg, ok := <-inbox:
+			if !ok {
+				return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
+			}
+			m.handleMessage(msg)
+		}
+		m.pump()
+	}
+	return m.err
+}
+
+// fail records the first error; the run loop exits on it.
+func (m *Monitor) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// --- local events ---
+
+func (m *Monitor) handleLocalEvent(e *dist.Event) {
+	if err := m.know.append(e); err != nil {
+		m.fail(err)
+		return
+	}
+	m.metrics.EventsProcessed++
+	if m.cfg.Mode == ModeReplicated {
+		m.broadcast(&wireMsg{Kind: msgEvent, Event: e})
+	}
+	m.serveWaiters()
+	// Fig 5.7 metric: local events not yet absorbed by global views.
+	if m.cfg.Mode == ModeDecentralized {
+		queued := 0
+		for _, gv := range m.gvs {
+			queued += m.know.len(m.cfg.Index) - gv.cut[m.cfg.Index]
+		}
+		m.metrics.DelaySamples++
+		m.metrics.DelayedEventsSum += queued
+	}
+}
+
+func (m *Monitor) handleLocalTermination(total int) {
+	m.localDone = true
+	m.localTotal = total
+	m.know.markDone(m.cfg.Index, total)
+	m.peerDone[m.cfg.Index] = true
+	m.broadcast(&wireMsg{Kind: msgTerm, Term: &termWire{Proc: m.cfg.Index, Total: total}})
+	m.serveWaiters()
+}
+
+// serveWaiters re-serves tokens and fetches waiting for local events.
+func (m *Monitor) serveWaiters() {
+	if len(m.waitTokens) > 0 {
+		pending := m.waitTokens
+		m.waitTokens = nil
+		for _, t := range pending {
+			m.handleToken(t)
+		}
+	}
+	if len(m.waitFetches) > 0 {
+		pending := m.waitFetches
+		m.waitFetches = nil
+		for _, f := range pending {
+			m.serveFetch(f.from, f.req)
+		}
+	}
+}
+
+type pendingFetch struct {
+	from int
+	req  *fetchWire
+}
+
+// --- network messages ---
+
+func (m *Monitor) handleMessage(raw transport.Message) {
+	msg, err := decodeMsg(raw.Payload)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	switch msg.Kind {
+	case msgToken:
+		m.handleToken(msg.Token)
+	case msgFetch:
+		m.serveFetch(raw.From, msg.Fetch)
+	case msgFetchReply:
+		m.handleFetchReply(msg.FetchReply)
+	case msgTerm:
+		m.know.markDone(msg.Term.Proc, msg.Term.Total)
+		m.peerDone[msg.Term.Proc] = true
+	case msgFini:
+		m.peerFini[msg.Fini] = true
+	case msgEvent:
+		if err := m.know.merge(msg.Event.Proc, []*dist.Event{msg.Event}); err != nil {
+			m.fail(err)
+		}
+	default:
+		m.fail(fmt.Errorf("core: monitor %d: unknown message kind %v", m.cfg.Index, msg.Kind))
+	}
+}
+
+// handleToken implements ReceiveToken (Algorithm 3): tokens visiting this
+// monitor are served against local history; tokens returning to their
+// parent integrate their findings into the global-view set.
+func (m *Monitor) handleToken(t *tokenWire) {
+	if t.Parent == m.cfg.Index {
+		m.handleReturn(t)
+		return
+	}
+	waiting := m.serveToken(t)
+	if waiting {
+		// Rule 2 of SendToNextProcess: an unresolved transition targets our
+		// future events; hold the token in w_tokens.
+		if !m.routeToken(t) {
+			m.waitTokens = append(m.waitTokens, t)
+		}
+		return
+	}
+	if !m.routeToken(t) {
+		m.waitTokens = append(m.waitTokens, t)
+	}
+}
+
+// handleReturn processes a token back at its parent: absorb the collected
+// segments, expand the lattice region up to each enabled transition's cut
+// (forking global views at every pivot), and re-dispatch any transitions
+// still unresolved.
+func (m *Monitor) handleReturn(t *tokenWire) {
+	for _, seg := range t.Segs {
+		if err := m.know.merge(seg.Proc, seg.Events); err != nil {
+			m.fail(err)
+			return
+		}
+	}
+	var unresolved []*transWire
+	for _, tr := range t.Trans {
+		switch tr.Eval {
+		case evalTrue:
+			m.integrateEnabled(t, tr)
+		case evalFalse:
+			// Disabled: the guard can never hold from this origin.
+		default:
+			unresolved = append(unresolved, tr)
+		}
+	}
+	if len(unresolved) == 0 {
+		m.closeSearch(t.SearchID)
+		return
+	}
+	// Serve the unresolved transitions against our own history (the parent
+	// may itself be the inconsistent process), then route onward.
+	t.Trans = unresolved
+	waiting := m.serveToken(t)
+	still := t.Trans[:0]
+	for _, tr := range t.Trans {
+		if tr.Eval == evalTrue {
+			m.integrateEnabled(t, tr)
+		} else if tr.Eval != evalFalse {
+			still = append(still, tr)
+		}
+	}
+	t.Trans = still
+	if len(t.Trans) == 0 {
+		m.closeSearch(t.SearchID)
+		return
+	}
+	if waiting {
+		if !m.routeToken(t) {
+			m.waitTokens = append(m.waitTokens, t)
+		}
+		return
+	}
+	if !m.routeToken(t) {
+		m.waitTokens = append(m.waitTokens, t)
+	}
+}
+
+// integrateEnabled handles a transition found enabled at the consistent cut
+// tr.Gcut: explore the region between the search origin and that cut,
+// forking a global view at every pivot global state discovered.
+func (m *Monitor) integrateEnabled(t *tokenWire, tr *transWire) {
+	if !m.know.covers(tr.Gcut) {
+		m.fail(fmt.Errorf("core: monitor %d: enabled cut %v not covered by token segments", m.cfg.Index, tr.Gcut))
+		return
+	}
+	origin := newStateset(m.mon.NumStates())
+	origin.set(t.Q)
+	box, err := exploreBox(m.mon, m.know, m, origin, t.Origin, tr.Gcut, m.cfg.MaxBoxNodes)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	m.metrics.BoxExplorations++
+	m.metrics.BoxNodes += box.nodes
+	m.integrateBox(box, origin, nil)
+}
+
+// integrateBox records conclusive hits and forks global views at pivots; if
+// continueAt is non-nil, the non-conclusive states reachable at the box's
+// top also continue there (used when a view absorbs a receive event's
+// causal closure). origin is the state set the box was explored from: a
+// continuation that introduces no new state is the same view advancing, not
+// a fork, and is not counted in the global-view metric (Fig. 5.8 counts
+// forked paths, §4.4.2.2).
+//
+// Pivot forks are restricted to the *minimal* cuts per discovered state —
+// the join-irreducible elements of the satisfying sub-lattice (§4.1); later
+// pivots of the same state are reachable from them or from the continuation.
+func (m *Monitor) integrateBox(box *boxResult, origin stateset, continueAt vclock.VC) {
+	for _, q := range box.conclusive {
+		m.recordVerdictState(q)
+	}
+	minimal := map[int][]pivot{}
+	for _, p := range box.pivots {
+		if m.mon.Final(p.q) {
+			m.recordVerdictState(p.q)
+			continue
+		}
+		keep := minimal[p.q][:0]
+		dominated := false
+		for _, other := range minimal[p.q] {
+			if other.cut.LessEq(p.cut) {
+				dominated = true
+			}
+			if !p.cut.LessEq(other.cut) {
+				keep = append(keep, other)
+			}
+		}
+		if !dominated {
+			minimal[p.q] = append(keep, p)
+		}
+	}
+	for q, ps := range minimal {
+		for _, p := range ps {
+			s := newStateset(m.mon.NumStates())
+			s.set(q)
+			m.addGV(s, p.cut, m.know.stateAt(p.cut), true)
+		}
+	}
+	if continueAt != nil {
+		cont := newStateset(m.mon.NumStates())
+		fresh := false
+		for _, q := range box.finalStates {
+			if m.mon.Final(q) {
+				m.recordVerdictState(q)
+				continue
+			}
+			cont.set(q)
+			if !origin.has(q) {
+				fresh = true
+			}
+		}
+		if !cont.empty() {
+			m.addGV(cont, continueAt.Clone(), m.know.stateAt(continueAt), fresh)
+		}
+	}
+}
+
+// --- fetches ---
+
+func (m *Monitor) serveFetch(from int, f *fetchWire) {
+	i := m.cfg.Index
+	if f.ToSN > m.know.len(i) && !m.localDone {
+		m.waitFetches = append(m.waitFetches, pendingFetch{from, f})
+		return
+	}
+	// Reply generously: everything from FromSN to the current history end,
+	// not just the requested range. Receive bursts then cost one fetch per
+	// sender instead of one per causal gap (channels are FIFO, so replies
+	// keep the requester's prefix contiguous).
+	hi := m.know.len(i)
+	var events []*dist.Event
+	for sn := f.FromSN; sn <= hi; sn++ {
+		events = append(events, m.know.event(i, sn))
+	}
+	m.metrics.FetchRepliesSent++
+	m.send(from, &wireMsg{Kind: msgFetchReply, FetchReply: &fetchReplyWire{
+		Proc: i, Events: events, Done: m.localDone, Total: m.localTotal,
+	}})
+}
+
+func (m *Monitor) handleFetchReply(r *fetchReplyWire) {
+	if err := m.know.merge(r.Proc, r.Events); err != nil {
+		m.fail(err)
+		return
+	}
+	if r.Done {
+		m.know.markDone(r.Proc, r.Total)
+	}
+	delete(m.inflightFetch, r.Proc)
+}
+
+// requestKnowledge fetches the segments needed to cover the target cut.
+func (m *Monitor) requestKnowledge(target vclock.VC) {
+	for j := 0; j < m.cfg.N; j++ {
+		if j == m.cfg.Index || target[j] <= m.know.len(j) {
+			continue
+		}
+		if m.inflightFetch[j] >= target[j] {
+			continue // an equal-or-wider request is already in flight
+		}
+		m.inflightFetch[j] = target[j]
+		m.metrics.FetchesSent++
+		if m.finalizing {
+			m.metrics.FinalizeFetches++
+		}
+		m.send(j, &wireMsg{Kind: msgFetch, Fetch: &fetchWire{
+			Requester: m.cfg.Index,
+			FromSN:    m.know.len(j) + 1,
+			ToSN:      target[j],
+		}})
+	}
+}
+
+// --- global-view advancement ---
+
+// addGV inserts a global view, implementing MergeSimilarGlobalViews
+// (Algorithm 2): views at the same cut merge by unioning their state sets.
+// counted controls whether the view increments the Fig. 5.8 fork metric.
+func (m *Monitor) addGV(states stateset, cut vclock.VC, gstate dist.GlobalState, counted bool) *globalView {
+	key := gvKey(cut)
+	if gv, ok := m.gvs[key]; ok {
+		if gv.states.or(states) {
+			gv.lastSig = "" // the enabled-set signature may have changed
+			if counted {
+				m.metrics.GlobalViewsCreated++
+			}
+		}
+		return gv
+	}
+	gv := &globalView{states: states, cut: cut, gstate: gstate}
+	m.gvs[key] = gv
+	if counted {
+		m.metrics.GlobalViewsCreated++
+	}
+	return gv
+}
+
+// pump drives all deferred work after each input: advancing views,
+// launching searches, finalization and the FINI handshake.
+func (m *Monitor) pump() {
+	if m.err != nil {
+		return
+	}
+	if m.cfg.Mode == ModeReplicated {
+		m.maybeFinalizeReplicated()
+		m.maybeFini()
+		return
+	}
+	for {
+		progressed := false
+		for _, key := range m.gvKeys() {
+			gv, ok := m.gvs[key]
+			if !ok {
+				continue
+			}
+			if m.advanceGV(key, gv) {
+				progressed = true
+			}
+			if m.err != nil {
+				return
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	m.maybeFinalize()
+	m.maybeFini()
+}
+
+func (m *Monitor) gvKeys() []string {
+	keys := make([]string, 0, len(m.gvs))
+	for k := range m.gvs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// advanceGV applies pending local events to one view (ProcessEvent,
+// Algorithm 2): consistent events step every state of the view exactly; a
+// receive whose clock outruns the cut triggers exploration of its causal
+// closure. After every advance the view (re-)launches outgoing-transition
+// searches.
+func (m *Monitor) advanceGV(key string, gv *globalView) bool {
+	i := m.cfg.Index
+	if gv.blocked != nil {
+		if !m.know.covers(gv.blocked) {
+			return false
+		}
+		gv.blocked = nil
+	}
+	changed := false
+	for {
+		next := gv.cut[i] + 1
+		if next > m.know.len(i) {
+			break
+		}
+		if m.know.consistentStep(gv.cut, i) {
+			e := m.know.event(i, next)
+			delete(m.gvs, key)
+			gv.cut[i] = next
+			gv.gstate[i] = e.State
+			letter := m.pm.Letter(gv.gstate)
+			ns := newStateset(m.mon.NumStates())
+			for _, q := range gv.states.members(m.mon.NumStates()) {
+				nq := m.mon.Step(q, letter)
+				if m.mon.Final(nq) {
+					m.recordVerdictState(nq)
+					continue // conclusive states are absorbing: stop tracing
+				}
+				ns.set(nq)
+			}
+			if ns.empty() {
+				return true // every path concluded; the view's work is done
+			}
+			gv.states = ns
+			key = gvKey(gv.cut)
+			if other, dup := m.gvs[key]; dup && other != gv {
+				other.states.or(gv.states) // merge into the resident view
+				return true
+			}
+			m.gvs[key] = gv
+			changed = true
+			m.maybeLaunchSearches(gv)
+			continue
+		}
+		// Receive gap: the event's causal history includes unseen peer
+		// events. Absorb the whole closure at once via a box exploration.
+		e := m.know.event(i, next)
+		target := vclock.Max(gv.cut, e.VC)
+		if !m.know.covers(target) {
+			m.requestKnowledge(target)
+			gv.blocked = target
+			return changed
+		}
+		box, err := exploreBox(m.mon, m.know, m, gv.states, gv.cut, target, m.cfg.MaxBoxNodes)
+		if err != nil {
+			m.fail(err)
+			return changed
+		}
+		m.metrics.BoxExplorations++
+		m.metrics.BoxNodes += box.nodes
+		delete(m.gvs, key)
+		m.integrateBox(box, gv.states, target)
+		return true
+	}
+	return changed
+}
+
+// maybeLaunchSearches implements CheckOutgoingTransitions (Algorithm 3) with
+// the §4.3.2 duplicate-avoidance: a token is created only when the set of
+// possibly-enabled outgoing transitions changed since the view's previous
+// event, and only once per (state, cut).
+func (m *Monitor) maybeLaunchSearches(gv *globalView) {
+	if m.cfg.N == 1 {
+		return
+	}
+	i := m.cfg.Index
+	// Per automaton state in the view, the possibly-enabled outgoing
+	// transitions (those whose local conjunct Pi does not forbid,
+	// Algorithm 3 line 7).
+	type stateSearch struct {
+		q   int
+		ids []int
+	}
+	var searches []stateSearch
+	var sigParts []string
+	for _, q := range gv.states.members(m.mon.NumStates()) {
+		var ids []int
+		for _, tr := range m.mon.Out(q) {
+			if tr.SelfLoop() {
+				continue
+			}
+			g := m.gt.guard(tr.ID, i)
+			if g.nonEmpty && !g.sat(gv.gstate[i]) {
+				continue
+			}
+			ids = append(ids, tr.ID)
+		}
+		if len(ids) > 0 {
+			searches = append(searches, stateSearch{q, ids})
+			sigParts = append(sigParts, fmt.Sprintf("%d|%v", q, ids))
+		}
+	}
+	if len(searches) == 0 {
+		gv.lastSig = ""
+		return
+	}
+	sig := strings.Join(sigParts, ";")
+	if sig == gv.lastSig {
+		return // §4.3.2: same possibly-enabled set as the previous event
+	}
+	gv.lastSig = sig
+	if m.launched[sig+"@"+gvKey(gv.cut)] {
+		return
+	}
+	m.launched[sig+"@"+gvKey(gv.cut)] = true
+	for _, s := range searches {
+		m.launchSearch(gv, s.q, s.ids)
+	}
+}
+
+// launchSearch creates and routes one token (CheckOutgoingTransitions,
+// Algorithm 3) for a single automaton state of the view, unless an
+// equivalent search is already in flight (§4.3.2 suppression).
+func (m *Monitor) launchSearch(gv *globalView, q int, ids []int) {
+	i := m.cfg.Index
+	sig := fmt.Sprintf("%d|%v", q, ids)
+	if m.activeSig[sig] > 0 {
+		// An equivalent search (same automaton state, same set of possibly
+		// enabled outgoing transitions) is still in flight; its result
+		// covers this view's obligations.
+		return
+	}
+	m.searchSeq++
+	t := &tokenWire{
+		Parent:   i,
+		SearchID: int64(i)<<32 | m.searchSeq,
+		Q:        q,
+		Origin:   gv.cut.Clone(),
+	}
+	for _, id := range ids {
+		tr := &transWire{
+			ID:       id,
+			Gcut:     gv.cut.Clone(),
+			Depend:   gv.cut.Clone(),
+			ConjEval: make([]evalState, m.cfg.N),
+			Eval:     evalUnset,
+		}
+		for j := 0; j < m.cfg.N; j++ {
+			g := m.gt.guard(id, j)
+			if !g.nonEmpty || g.sat(gv.gstate[j]) {
+				tr.ConjEval[j] = evalTrue
+			}
+		}
+		m.finishTrans(tr)
+		t.Trans = append(t.Trans, tr)
+	}
+	// Transitions already true at the origin cannot occur (the automaton is
+	// deterministic: the view's own letter chose a different transition),
+	// but guard against them for safety.
+	live := t.Trans[:0]
+	for _, tr := range t.Trans {
+		if tr.Eval == evalUnset {
+			live = append(live, tr)
+		}
+	}
+	t.Trans = live
+	if len(t.Trans) == 0 {
+		return
+	}
+	m.outstanding[t.SearchID] = true
+	m.searchSig[t.SearchID] = sig
+	m.activeSig[sig]++
+	m.metrics.SearchesLaunched++
+	if !m.routeToken(t) {
+		m.waitTokens = append(m.waitTokens, t)
+	}
+}
+
+// closeSearch retires a fully resolved search.
+func (m *Monitor) closeSearch(id int64) {
+	delete(m.outstanding, id)
+	if sig, ok := m.searchSig[id]; ok {
+		delete(m.searchSig, id)
+		if m.activeSig[sig] > 0 {
+			m.activeSig[sig]--
+		}
+	}
+}
+
+// --- verdicts, finalization, termination ---
+
+func (m *Monitor) recordVerdictState(q int) {
+	if m.verdictStates[q] {
+		return
+	}
+	m.verdictStates[q] = true
+	v := m.mon.VerdictOf(q)
+	m.verdicts[v] = true
+	if m.mon.Final(q) && m.OnConclusive != nil {
+		m.OnConclusive(v)
+	}
+}
+
+// maybeFinalize extends every surviving view to the global final cut once
+// everything has terminated and all searches are resolved, so the monitor's
+// verdict set covers the paths it traced end-to-end.
+func (m *Monitor) maybeFinalize() {
+	if !m.cfg.FinalizeFull || m.finalized {
+		return
+	}
+	if !m.quiescent() {
+		return
+	}
+	final, ok := m.know.finalCut()
+	if !ok {
+		return
+	}
+	if !m.know.covers(final) {
+		m.finalizing = true
+		m.requestKnowledge(final)
+		return
+	}
+	m.finalizing = false
+	for _, key := range m.gvKeys() {
+		gv := m.gvs[key]
+		box, err := exploreBox(m.mon, m.know, m, gv.states, gv.cut, final, m.cfg.MaxBoxNodes)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.metrics.BoxExplorations++
+		m.metrics.BoxNodes += box.nodes
+		for _, q := range box.conclusive {
+			m.recordVerdictState(q)
+		}
+		for _, q := range box.finalStates {
+			m.recordVerdictState(q)
+		}
+	}
+	m.finalized = true
+}
+
+// maybeFinalizeReplicated evaluates the full lattice once every process's
+// complete trace has been broadcast.
+func (m *Monitor) maybeFinalizeReplicated() {
+	if m.finalized || !m.localDone {
+		return
+	}
+	final, ok := m.know.finalCut()
+	if !ok || !m.know.covers(final) {
+		return
+	}
+	init := newStateset(m.mon.NumStates())
+	init.set(m.initialQ)
+	box, err := exploreBox(m.mon, m.know, m, init, vclock.New(m.cfg.N), final, m.cfg.MaxBoxNodes)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	m.metrics.BoxExplorations++
+	m.metrics.BoxNodes += box.nodes
+	if m.mon.Final(m.initialQ) {
+		m.recordVerdictState(m.initialQ)
+	}
+	for _, q := range box.conclusive {
+		m.recordVerdictState(q)
+	}
+	for _, q := range box.finalStates {
+		m.recordVerdictState(q)
+	}
+	m.finalized = true
+}
+
+// quiescent reports whether this monitor has no pending work of its own.
+func (m *Monitor) quiescent() bool {
+	if !m.localDone || len(m.outstanding) > 0 || len(m.inflightFetch) > 0 {
+		return false
+	}
+	for _, d := range m.peerDone {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Monitor) maybeFini() {
+	if m.finiSent || !m.quiescent() {
+		return
+	}
+	if m.cfg.FinalizeFull && !m.finalized {
+		return
+	}
+	if m.cfg.Mode == ModeReplicated && !m.finalized {
+		return
+	}
+	// Without finalization, a surviving inconclusive view means some traced
+	// path never concluded: report '?'.
+	if !m.cfg.FinalizeFull && m.cfg.Mode == ModeDecentralized {
+		for _, gv := range m.gvs {
+			for _, q := range gv.states.members(m.mon.NumStates()) {
+				m.verdicts[m.mon.VerdictOf(q)] = true
+			}
+		}
+	}
+	m.finiSent = true
+	m.peerFini[m.cfg.Index] = true
+	m.broadcast(&wireMsg{Kind: msgFini, Fini: m.cfg.Index})
+}
+
+func (m *Monitor) finished() bool {
+	if !m.finiSent {
+		return false
+	}
+	for _, f := range m.peerFini {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// --- plumbing ---
+
+func (m *Monitor) send(to int, msg *wireMsg) {
+	payload, err := encodeMsg(msg)
+	if err != nil {
+		m.fail(err)
+		return
+	}
+	m.metrics.MessagesSent++
+	if err := m.ep.Send(to, payload); err != nil {
+		m.fail(err)
+	}
+}
+
+func (m *Monitor) broadcast(msg *wireMsg) {
+	for j := 0; j < m.cfg.N; j++ {
+		if j != m.cfg.Index {
+			m.send(j, msg)
+		}
+	}
+}
+
+// letterAt implements the box explorer's letterer.
+func (m *Monitor) letterAt(know *knowledge, cut vclock.VC) uint32 {
+	return m.pm.Letter(know.stateAt(cut))
+}
+
+// DebugString renders the monitor's exploration state (tests and the dlmon
+// tool use it).
+func (m *Monitor) DebugString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "monitor %d: %d views, %d searches outstanding, verdicts ", m.cfg.Index, len(m.gvs), len(m.outstanding))
+	var vs []string
+	for v := range m.verdicts {
+		vs = append(vs, v.String())
+	}
+	sort.Strings(vs)
+	fmt.Fprintf(&b, "{%s}", strings.Join(vs, ","))
+	return b.String()
+}

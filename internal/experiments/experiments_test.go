@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Config{
+	Ns:              []int{2, 3},
+	Seeds:           []int64{1},
+	InternalPerProc: 5,
+	CommMu:          3, CommSigma: 1,
+}
+
+func TestTable51(t *testing.T) {
+	rows, err := Table51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("%d rows, want 24", len(rows))
+	}
+	exact := 0
+	for _, r := range rows {
+		if r.Total == r.PaperTot && r.Outgoing == r.PaperOut && r.Self == r.PaperSelf {
+			exact++
+		}
+	}
+	if exact < 15 {
+		t.Errorf("only %d exact Table 5.1 cells", exact)
+	}
+	out := RenderTable51(rows)
+	if !strings.Contains(out, "exact") {
+		t.Error("render lacks exact markers")
+	}
+}
+
+func TestAutomata(t *testing.T) {
+	figs, err := Automata(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("%d automata, want 6", len(figs))
+	}
+	for k, dot := range figs {
+		if !strings.Contains(dot, "digraph") {
+			t.Errorf("%s: not DOT", k)
+		}
+	}
+}
+
+func TestMeasureAndSweep(t *testing.T) {
+	cells, err := Sweep([]string{"B", "D"}, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Events <= 0 {
+			t.Errorf("%s/%d: no events", c.Property, c.N)
+		}
+		if c.Messages < 0 || c.GlobalViews <= 0 {
+			t.Errorf("%s/%d: bad metrics %+v", c.Property, c.N, c)
+		}
+	}
+	out := RenderCells(cells)
+	if !strings.Contains(out, "globalviews") {
+		t.Error("render missing header")
+	}
+}
+
+func TestMessagesGrowWithN(t *testing.T) {
+	cfg := quick
+	cfg.Ns = []int{2, 4}
+	cells, err := Sweep([]string{"D"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[1].Messages <= cells[0].Messages {
+		t.Errorf("messages should grow with n: n=2 %.0f, n=4 %.0f", cells[0].Messages, cells[1].Messages)
+	}
+}
+
+func TestSingleOutgoingCheaperThanMany(t *testing.T) {
+	// Property B (one outgoing transition) must generate fewer monitoring
+	// messages than property D at the same size (Fig. 5.4b vs 5.5a shape).
+	cfg := quick
+	cfg.Ns = []int{4}
+	cfg.Seeds = []int64{1, 2}
+	b, err := Sweep([]string{"B"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Sweep([]string{"D"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0].Messages >= d[0].Messages {
+		t.Errorf("B should be cheaper than D: B %.0f vs D %.0f messages", b[0].Messages, d[0].Messages)
+	}
+}
+
+func TestCommFrequency(t *testing.T) {
+	cfg := quick
+	cells, err := CommFrequency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("%d comm-frequency cells, want 5", len(cells))
+	}
+	if cells[0].Label != "commMu=3" || cells[4].Label != "no comm" {
+		t.Errorf("labels wrong: %s .. %s", cells[0].Label, cells[4].Label)
+	}
+	// Fewer program messages with larger Commµ => fewer events.
+	if cells[0].Events <= cells[3].Events {
+		t.Errorf("events should shrink as Commµ grows: %v vs %v", cells[0].Events, cells[3].Events)
+	}
+	out := RenderCommFreq(cells)
+	if !strings.Contains(out, "no comm") {
+		t.Error("render missing no-comm row")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	cfg := quick
+	row, err := Baselines("D", 3, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Agree {
+		t.Error("baselines disagree on verdicts")
+	}
+	if row.RepMsgs <= row.DecMsgs/10 {
+		t.Errorf("replicated should not be cheap: dec %d repl %d", row.DecMsgs, row.RepMsgs)
+	}
+	if row.CentralMsgs <= 0 || row.CentralCuts <= 0 {
+		t.Errorf("central metrics empty: %+v", row)
+	}
+	out := RenderBaselines([]*BaselineRow{row})
+	if !strings.Contains(out, "central cuts") {
+		t.Error("render missing header")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if len(c.Ns) != 4 || c.InternalPerProc == 0 || c.EvtMu != 3 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if Log10(0) != 0 || Log10(100) != 2 {
+		t.Error("Log10 helper wrong")
+	}
+}

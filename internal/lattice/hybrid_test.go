@@ -1,0 +1,136 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/ltl"
+)
+
+func hybridFixture(t *testing.T, seed int64) (*dist.TraceSet, *automaton.Monitor) {
+	t.Helper()
+	ts := dist.Generate(dist.GenConfig{
+		N: 3, InternalPerProc: 6, CommMu: 4, CommSigma: 1, PlantGoal: true, Seed: seed,
+	})
+	mon, err := automaton.Build(
+		ltl.MustParse("F (P0.p && P1.p && P2.p)"), ts.Props.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, mon
+}
+
+// TestHybridInfinityEqualsCausal: with ε = ∞ the hybrid oracle is the plain
+// causal oracle.
+func TestHybridInfinityEqualsCausal(t *testing.T) {
+	ts, mon := hybridFixture(t, 1)
+	causal, err := Evaluate(ts, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := EvaluateHybrid(ts, mon, Inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.NumCuts != causal.NumCuts || hybrid.NumEdges != causal.NumEdges {
+		t.Errorf("eps=inf lattice %d/%d != causal %d/%d",
+			hybrid.NumCuts, hybrid.NumEdges, causal.NumCuts, causal.NumEdges)
+	}
+	if len(hybrid.Verdicts) != len(causal.Verdicts) {
+		t.Errorf("eps=inf verdicts %v != causal %v", hybrid.Verdicts, causal.Verdicts)
+	}
+}
+
+// TestHybridZeroIsTotalOrder: with ε = 0 (perfect clocks and distinct
+// timestamps) the lattice degenerates to the single physical execution.
+func TestHybridZeroIsTotalOrder(t *testing.T) {
+	ts, mon := hybridFixture(t, 2)
+	hybrid, err := EvaluateHybrid(ts, mon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ts.TotalEvents() + 1; hybrid.NumCuts != want {
+		t.Errorf("eps=0 lattice has %d cuts, want a chain of %d", hybrid.NumCuts, want)
+	}
+	if len(hybrid.Verdicts) != 1 {
+		t.Errorf("total order must give exactly one verdict, got %v", hybrid.Verdicts)
+	}
+	if hybrid.MaxWidth != 1 {
+		t.Errorf("chain width = %d, want 1", hybrid.MaxWidth)
+	}
+}
+
+// TestHybridMonotone: lattice size and verdict sets grow with ε, and every
+// hybrid verdict set is contained in the causal one.
+func TestHybridMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		ts := dist.Generate(dist.GenConfig{
+			N: 2 + rng.Intn(2), InternalPerProc: 5,
+			CommMu: 3 + rng.Float64()*3, CommSigma: 1,
+			Seed: rng.Int63(),
+		})
+		f := ltl.RandomFormula(rng, 7, ts.Props.Names)
+		mon, err := automaton.Build(f, ts.Props.Names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		causal, err := Evaluate(ts, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevCuts := 0
+		prevVerdicts := map[automaton.Verdict]bool{}
+		for _, eps := range []float64{0, 0.5, 2, 10, 1e9} {
+			h, err := EvaluateHybrid(ts, mon, eps)
+			if err != nil {
+				t.Fatalf("eps=%v: %v", eps, err)
+			}
+			if h.NumCuts < prevCuts {
+				t.Errorf("eps=%v shrank the lattice: %d < %d", eps, h.NumCuts, prevCuts)
+			}
+			for v := range prevVerdicts {
+				if !h.VerdictSet()[v] {
+					t.Errorf("eps=%v lost verdict %v", eps, v)
+				}
+			}
+			for v := range h.VerdictSet() {
+				if !causal.VerdictSet()[v] {
+					t.Errorf("eps=%v produced verdict %v outside the causal set %v", eps, v, causal.Verdicts)
+				}
+			}
+			prevCuts = h.NumCuts
+			prevVerdicts = h.VerdictSet()
+		}
+	}
+}
+
+// TestHybridShrinksConcurrency: moderate ε on a no-communication execution
+// (full grid causally) must cut the lattice substantially.
+func TestHybridShrinksConcurrency(t *testing.T) {
+	ts := dist.Generate(dist.GenConfig{N: 3, InternalPerProc: 5, CommMu: -1, Seed: 3})
+	mon, err := automaton.Build(ltl.MustParse("F P0.p"), ts.Props.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	causal, err := Evaluate(ts, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := EvaluateHybrid(ts, mon, 1.0) // 1s bound vs ~3s event gaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumCuts*2 >= causal.NumCuts {
+		t.Errorf("eps=1s should cut the %d-cut grid well below half, got %d", causal.NumCuts, h.NumCuts)
+	}
+}
+
+func TestHybridRejectsNegativeEps(t *testing.T) {
+	ts, mon := hybridFixture(t, 4)
+	if _, err := EvaluateHybrid(ts, mon, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}

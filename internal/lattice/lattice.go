@@ -1,0 +1,259 @@
+// Package lattice implements the computation lattice of a distributed
+// execution (Definitions 4–7) and the Chapter-3 oracle: given the full trace
+// set and an LTL3 monitor, it computes the exact set of verdicts over *all*
+// lattice paths.
+//
+// The oracle is the ground truth for the soundness and completeness claims
+// of the decentralized algorithm (Equations 3.1/3.2): a decentralized run is
+// sound iff its verdict set is a subset of the oracle's and complete iff it
+// is a superset.
+//
+// Rather than enumerating paths (exponentially many), the oracle performs a
+// layered dynamic program over consistent cuts: the set of automaton states
+// reachable at a cut is the union over its lattice predecessors of the
+// automaton step on the cut's global state. Because conclusive monitor
+// states (⊤/⊥) are absorbing, the verdict set of all paths equals the
+// verdict labels of the states reachable at the final cut.
+package lattice
+
+import (
+	"fmt"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/vclock"
+)
+
+// Result summarizes the oracle evaluation of one execution.
+type Result struct {
+	// NumCuts and NumEdges are the size of the computation lattice.
+	NumCuts, NumEdges int
+	// MaxWidth is the largest number of consistent cuts in one rank layer —
+	// a measure of how much concurrency the execution exhibits.
+	MaxWidth int
+	// FinalStates are the automaton states reachable at the final cut,
+	// sorted ascending.
+	FinalStates []int
+	// Verdicts is the oracle verdict set: the distinct verdict labels of
+	// FinalStates.
+	Verdicts []automaton.Verdict
+	// FirstConclusiveRank is the smallest rank (number of events) at which
+	// some path reaches a conclusive state, or -1 if none does.
+	FirstConclusiveRank int
+}
+
+// HasVerdict reports whether v is in the oracle verdict set.
+func (r *Result) HasVerdict(v automaton.Verdict) bool {
+	for _, w := range r.Verdicts {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// VerdictSet returns the verdicts as a set keyed by verdict.
+func (r *Result) VerdictSet() map[automaton.Verdict]bool {
+	s := map[automaton.Verdict]bool{}
+	for _, v := range r.Verdicts {
+		s[v] = true
+	}
+	return s
+}
+
+// stateset is a bitset over monitor states.
+type stateset []uint64
+
+func newStateset(n int) stateset { return make(stateset, (n+63)/64) }
+
+func (s stateset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s stateset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s stateset) orInto(t stateset) bool {
+	changed := false
+	for w := range s {
+		nv := t[w] | s[w]
+		if nv != t[w] {
+			t[w] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Evaluate runs the oracle over the complete execution. The monitor's
+// propositions must match ts.Props.Names in order.
+func Evaluate(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
+	if err := checkProps(ts, mon); err != nil {
+		return nil, err
+	}
+	n := ts.N()
+	type node struct {
+		cut    vclock.VC
+		states stateset
+	}
+	index := map[string]*node{}
+	start := &node{cut: vclock.New(n), states: newStateset(mon.NumStates())}
+	// The automaton consumes the initial global state first (§4.2 INIT).
+	q0 := mon.Step(mon.Initial(), ts.Props.Letter(ts.InitialState()))
+	start.states.set(q0)
+	index[start.cut.Key()] = start
+
+	res := &Result{NumCuts: 1, FirstConclusiveRank: -1}
+	if mon.Final(q0) {
+		res.FirstConclusiveRank = 0
+	}
+
+	queue := []*node{start}
+	layerWidth := map[int]int{0: 1}
+	final := ts.FinalCut()
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		for i := 0; i < n; i++ {
+			if nd.cut[i] >= len(ts.Traces[i].Events) {
+				continue
+			}
+			next := nd.cut.Clone()
+			next[i]++
+			// The new cut is consistent iff the newly added event's causal
+			// history is contained in it.
+			ev := ts.Traces[i].Events[next[i]-1]
+			if !ev.VC.LessEq(next) {
+				continue
+			}
+			res.NumEdges++
+			key := next.Key()
+			succ, seen := index[key]
+			if !seen {
+				succ = &node{cut: next, states: newStateset(mon.NumStates())}
+				index[key] = succ
+				queue = append(queue, succ)
+				res.NumCuts++
+				layerWidth[next.Sum()]++
+			}
+			// Advance every reachable automaton state over the successor's
+			// global state.
+			letter := ts.Props.Letter(ts.StateAtCut(next))
+			for st := 0; st < mon.NumStates(); st++ {
+				if !nd.states.has(st) {
+					continue
+				}
+				nq := mon.Step(st, letter)
+				succ.states.set(nq)
+				if mon.Final(nq) && (res.FirstConclusiveRank == -1 || next.Sum() < res.FirstConclusiveRank) {
+					res.FirstConclusiveRank = next.Sum()
+				}
+			}
+		}
+	}
+	for _, w := range layerWidth {
+		if w > res.MaxWidth {
+			res.MaxWidth = w
+		}
+	}
+	fin, ok := index[final.Key()]
+	if !ok {
+		return nil, fmt.Errorf("lattice: final cut %v unreachable — trace set inconsistent", final)
+	}
+	seenV := map[automaton.Verdict]bool{}
+	for st := 0; st < mon.NumStates(); st++ {
+		if fin.states.has(st) {
+			res.FinalStates = append(res.FinalStates, st)
+			v := mon.VerdictOf(st)
+			if !seenV[v] {
+				seenV[v] = true
+				res.Verdicts = append(res.Verdicts, v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CountCuts returns the number of consistent cuts (lattice nodes) of the
+// execution without evaluating any property.
+func CountCuts(ts *dist.TraceSet) int {
+	n := ts.N()
+	seen := map[string]bool{}
+	start := vclock.New(n)
+	seen[start.Key()] = true
+	queue := []vclock.VC{start}
+	for len(queue) > 0 {
+		cut := queue[0]
+		queue = queue[1:]
+		for i := 0; i < n; i++ {
+			if cut[i] >= len(ts.Traces[i].Events) {
+				continue
+			}
+			next := cut.Clone()
+			next[i]++
+			if !ts.Traces[i].Events[next[i]-1].VC.LessEq(next) {
+				continue
+			}
+			if key := next.Key(); !seen[key] {
+				seen[key] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// EnumeratePathVerdicts walks every maximal lattice path explicitly, running
+// the monitor along each, and returns the set of final verdicts plus the
+// number of paths. It is exponential and intended only for cross-validating
+// Evaluate on small executions in tests; it returns an error after maxPaths
+// paths.
+func EnumeratePathVerdicts(ts *dist.TraceSet, mon *automaton.Monitor, maxPaths int) (map[automaton.Verdict]bool, int, error) {
+	if err := checkProps(ts, mon); err != nil {
+		return nil, 0, err
+	}
+	verdicts := map[automaton.Verdict]bool{}
+	paths := 0
+	n := ts.N()
+	final := ts.FinalCut()
+
+	var walk func(cut vclock.VC, q int) error
+	walk = func(cut vclock.VC, q int) error {
+		if cut.Equal(final) {
+			paths++
+			if paths > maxPaths {
+				return fmt.Errorf("lattice: more than %d paths", maxPaths)
+			}
+			verdicts[mon.VerdictOf(q)] = true
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if cut[i] >= len(ts.Traces[i].Events) {
+				continue
+			}
+			next := cut.Clone()
+			next[i]++
+			if !ts.Traces[i].Events[next[i]-1].VC.LessEq(next) {
+				continue
+			}
+			letter := ts.Props.Letter(ts.StateAtCut(next))
+			if err := walk(next, mon.Step(q, letter)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := vclock.New(n)
+	q0 := mon.Step(mon.Initial(), ts.Props.Letter(ts.InitialState()))
+	if err := walk(start, q0); err != nil {
+		return nil, paths, err
+	}
+	return verdicts, paths, nil
+}
+
+func checkProps(ts *dist.TraceSet, mon *automaton.Monitor) error {
+	if len(mon.Props) != ts.Props.Len() {
+		return fmt.Errorf("lattice: monitor has %d propositions, traces declare %d", len(mon.Props), ts.Props.Len())
+	}
+	for i, p := range mon.Props {
+		if ts.Props.Names[i] != p {
+			return fmt.Errorf("lattice: proposition %d mismatch: monitor %q vs traces %q", i, p, ts.Props.Names[i])
+		}
+	}
+	return nil
+}

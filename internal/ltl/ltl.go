@@ -1,0 +1,380 @@
+// Package ltl implements the syntax of linear temporal logic (LTL) as used by
+// the decentralized runtime-verification algorithm: an abstract syntax tree,
+// a parser, negation-normal-form rewriting, and structural utilities.
+//
+// Formulas follow Definition 8 of the paper:
+//
+//	ϕ ::= true | p | ¬ϕ | ϕ1 ∧ ϕ2 | ○ϕ | ϕ1 U ϕ2
+//
+// together with the usual derived operators ∨, →, ↔, ◇ (eventually),
+// □ (always) and the dual R (release), which is required for negation normal
+// form. Atomic propositions are named; the binding of a name to a process and
+// to a predicate over that process's local state happens at a higher layer
+// (package dist).
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the node types of the LTL abstract syntax tree.
+type Kind int
+
+// The AST node kinds. Derived operators (implication, equivalence) are
+// rewritten by the parser and never appear in a Formula.
+const (
+	KTrue Kind = iota // the constant true
+	KFalse
+	KProp    // atomic proposition, identified by Name
+	KNot     // ¬L
+	KAnd     // L ∧ R
+	KOr      // L ∨ R
+	KNext    // ○ L
+	KUntil   // L U R
+	KRelease // L R R  (dual of until)
+	KEvent   // ◇ L = true U L
+	KAlways  // □ L = false R L
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KTrue:
+		return "true"
+	case KFalse:
+		return "false"
+	case KProp:
+		return "prop"
+	case KNot:
+		return "not"
+	case KAnd:
+		return "and"
+	case KOr:
+		return "or"
+	case KNext:
+		return "next"
+	case KUntil:
+		return "until"
+	case KRelease:
+		return "release"
+	case KEvent:
+		return "eventually"
+	case KAlways:
+		return "always"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Formula is an immutable LTL abstract syntax tree node. Callers must not
+// mutate a Formula after construction; the automaton builder caches nodes by
+// their String key.
+type Formula struct {
+	Kind Kind
+	Name string   // proposition name, only for KProp
+	L    *Formula // left / sole operand
+	R    *Formula // right operand for binary kinds
+}
+
+// Constructors. They perform light simplification (constant folding and
+// double-negation elimination) so that trivially equivalent inputs share a
+// canonical shape; they do not attempt full semantic simplification.
+
+// True returns the constant true formula.
+func True() *Formula { return &Formula{Kind: KTrue} }
+
+// False returns the constant false formula.
+func False() *Formula { return &Formula{Kind: KFalse} }
+
+// Prop returns an atomic proposition with the given name.
+func Prop(name string) *Formula { return &Formula{Kind: KProp, Name: name} }
+
+// Not returns the negation of f, eliminating double negation and folding
+// constants.
+func Not(f *Formula) *Formula {
+	switch f.Kind {
+	case KTrue:
+		return False()
+	case KFalse:
+		return True()
+	case KNot:
+		return f.L
+	}
+	return &Formula{Kind: KNot, L: f}
+}
+
+// And returns the conjunction of l and r with constant folding.
+func And(l, r *Formula) *Formula {
+	switch {
+	case l.Kind == KFalse || r.Kind == KFalse:
+		return False()
+	case l.Kind == KTrue:
+		return r
+	case r.Kind == KTrue:
+		return l
+	}
+	return &Formula{Kind: KAnd, L: l, R: r}
+}
+
+// Or returns the disjunction of l and r with constant folding.
+func Or(l, r *Formula) *Formula {
+	switch {
+	case l.Kind == KTrue || r.Kind == KTrue:
+		return True()
+	case l.Kind == KFalse:
+		return r
+	case r.Kind == KFalse:
+		return l
+	}
+	return &Formula{Kind: KOr, L: l, R: r}
+}
+
+// Implies returns l → r, rewritten as ¬l ∨ r.
+func Implies(l, r *Formula) *Formula { return Or(Not(l), r) }
+
+// Iff returns l ↔ r, rewritten as (l→r) ∧ (r→l).
+func Iff(l, r *Formula) *Formula { return And(Implies(l, r), Implies(r, l)) }
+
+// Next returns ○ f.
+func Next(f *Formula) *Formula { return &Formula{Kind: KNext, L: f} }
+
+// Until returns l U r with constant folding: anything U true = true,
+// l U false = false.
+func Until(l, r *Formula) *Formula {
+	switch {
+	case r.Kind == KTrue:
+		return True()
+	case r.Kind == KFalse:
+		return False()
+	case l.Kind == KFalse:
+		return r
+	}
+	return &Formula{Kind: KUntil, L: l, R: r}
+}
+
+// Release returns l R r (the dual of until) with constant folding.
+func Release(l, r *Formula) *Formula {
+	switch {
+	case r.Kind == KTrue:
+		return True()
+	case r.Kind == KFalse:
+		return False()
+	case l.Kind == KTrue:
+		return r
+	}
+	return &Formula{Kind: KRelease, L: l, R: r}
+}
+
+// Eventually returns ◇ f ≡ true U f.
+func Eventually(f *Formula) *Formula {
+	if f.Kind == KTrue || f.Kind == KFalse {
+		return f
+	}
+	return &Formula{Kind: KEvent, L: f}
+}
+
+// Always returns □ f ≡ false R f.
+func Always(f *Formula) *Formula {
+	if f.Kind == KTrue || f.Kind == KFalse {
+		return f
+	}
+	return &Formula{Kind: KAlways, L: f}
+}
+
+// String renders the formula with a minimal, re-parseable set of parentheses.
+// Temporal unary operators are rendered as X, F, G; binary temporal operators
+// as infix U and R.
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.write(&b, 0)
+	return b.String()
+}
+
+// Binding strength, loosest to tightest: Or < And < Until/Release < unary.
+func (f *Formula) prec() int {
+	switch f.Kind {
+	case KOr:
+		return 1
+	case KAnd:
+		return 2
+	case KUntil, KRelease:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func (f *Formula) write(b *strings.Builder, outer int) {
+	p := f.prec()
+	if p < outer {
+		b.WriteByte('(')
+	}
+	switch f.Kind {
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KProp:
+		b.WriteString(f.Name)
+	case KNot:
+		b.WriteByte('!')
+		f.L.write(b, 4)
+	case KNext:
+		b.WriteString("X ")
+		f.L.write(b, 4)
+	case KEvent:
+		b.WriteString("F ")
+		f.L.write(b, 4)
+	case KAlways:
+		b.WriteString("G ")
+		f.L.write(b, 4)
+	case KAnd:
+		f.L.write(b, 2)
+		b.WriteString(" && ")
+		f.R.write(b, 3) // right operand needs higher prec to re-parse left-assoc
+	case KOr:
+		f.L.write(b, 1)
+		b.WriteString(" || ")
+		f.R.write(b, 2)
+	case KUntil:
+		f.L.write(b, 4) // U is right-associative and non-chaining in our parser
+		b.WriteString(" U ")
+		f.R.write(b, 3)
+	case KRelease:
+		f.L.write(b, 4)
+		b.WriteString(" R ")
+		f.R.write(b, 3)
+	}
+	if p < outer {
+		b.WriteByte(')')
+	}
+}
+
+// Equal reports structural equality.
+func (f *Formula) Equal(g *Formula) bool {
+	if f == g {
+		return true
+	}
+	if f == nil || g == nil || f.Kind != g.Kind || f.Name != g.Name {
+		return false
+	}
+	if f.L != nil || g.L != nil {
+		if f.L == nil || g.L == nil || !f.L.Equal(g.L) {
+			return false
+		}
+	}
+	if f.R != nil || g.R != nil {
+		if f.R == nil || g.R == nil || !f.R.Equal(g.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// Props returns the sorted set of proposition names appearing in f.
+func (f *Formula) Props() []string {
+	seen := map[string]bool{}
+	f.walk(func(g *Formula) {
+		if g.Kind == KProp {
+			seen[g.Name] = true
+		}
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of AST nodes.
+func (f *Formula) Size() int {
+	n := 0
+	f.walk(func(*Formula) { n++ })
+	return n
+}
+
+// TemporalDepth returns the maximum nesting depth of temporal operators.
+func (f *Formula) TemporalDepth() int {
+	if f == nil {
+		return 0
+	}
+	d := max(f.L.TemporalDepth(), f.R.TemporalDepth())
+	switch f.Kind {
+	case KNext, KUntil, KRelease, KEvent, KAlways:
+		return d + 1
+	}
+	return d
+}
+
+func (f *Formula) walk(fn func(*Formula)) {
+	if f == nil {
+		return
+	}
+	fn(f)
+	f.L.walk(fn)
+	f.R.walk(fn)
+}
+
+// NNF rewrites f into negation normal form: negations appear only directly in
+// front of atomic propositions, and the derived operators ◇/□ are expanded
+// into U/R. The result is the input shape expected by the tableau
+// construction in package automaton.
+func (f *Formula) NNF() *Formula {
+	return nnf(f, false)
+}
+
+func nnf(f *Formula, neg bool) *Formula {
+	switch f.Kind {
+	case KTrue:
+		if neg {
+			return False()
+		}
+		return True()
+	case KFalse:
+		if neg {
+			return True()
+		}
+		return False()
+	case KProp:
+		if neg {
+			return &Formula{Kind: KNot, L: &Formula{Kind: KProp, Name: f.Name}}
+		}
+		return &Formula{Kind: KProp, Name: f.Name}
+	case KNot:
+		return nnf(f.L, !neg)
+	case KAnd:
+		if neg {
+			return Or(nnf(f.L, true), nnf(f.R, true))
+		}
+		return And(nnf(f.L, false), nnf(f.R, false))
+	case KOr:
+		if neg {
+			return And(nnf(f.L, true), nnf(f.R, true))
+		}
+		return Or(nnf(f.L, false), nnf(f.R, false))
+	case KNext:
+		return Next(nnf(f.L, neg))
+	case KUntil:
+		if neg {
+			return Release(nnf(f.L, true), nnf(f.R, true))
+		}
+		return Until(nnf(f.L, false), nnf(f.R, false))
+	case KRelease:
+		if neg {
+			return Until(nnf(f.L, true), nnf(f.R, true))
+		}
+		return Release(nnf(f.L, false), nnf(f.R, false))
+	case KEvent: // ◇g = true U g ; ¬◇g = false R ¬g
+		if neg {
+			return Release(False(), nnf(f.L, true))
+		}
+		return Until(True(), nnf(f.L, false))
+	case KAlways: // □g = false R g ; ¬□g = true U ¬g
+		if neg {
+			return Until(True(), nnf(f.L, true))
+		}
+		return Release(False(), nnf(f.L, false))
+	}
+	panic("ltl: unknown formula kind " + f.Kind.String())
+}

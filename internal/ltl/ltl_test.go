@@ -1,0 +1,236 @@
+package ltl
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"true", "true"},
+		{"false", "false"},
+		{"p", "p"},
+		{"p0.p", "p0.p"},
+		{"x1>=5", "x1>=5"},
+		{"!p", "!p"},
+		{"!!p", "p"},
+		{"p && q", "p && q"},
+		{"p || q", "p || q"},
+		{"p -> q", "!p || q"},
+		{"p && q || r", "p && q || r"},
+		{"p && (q || r)", "p && (q || r)"},
+		{"X p", "X p"},
+		{"F p", "F p"},
+		{"G p", "G p"},
+		{"p U q", "p U q"},
+		{"p R q", "p R q"},
+		{"p U q U r", "p U q U r"}, // right associative
+		{"(p U q) U r", "(p U q) U r"},
+		{"G (p -> F q)", "G (!p || F q)"},
+		{"p && q U r", "p && q U r"}, // U binds tighter than &&
+		{"G ((x1>=5) -> ((x2>=15) U (x1=10)))", "G (!x1>=5 || x2>=15 U x1=10)"},
+		{"p <-> q", "(!p || q) && (!q || p)"},
+		{"true && p", "p"},
+		{"false || p", "p"},
+		{"p U true", "true"},
+		{"F true", "true"},
+		{"G false", "false"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := f.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "(", "p &&", "p q", ")", "p U", "G", "!", "p &&& q", "#x",
+		"p) && q",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		f := RandomFormula(rng, 8, []string{"p", "q", "r", "s"})
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", f.String(), err)
+		}
+		if !f.Equal(g) {
+			t.Fatalf("round trip mismatch: %q reparsed as %q", f.String(), g.String())
+		}
+	}
+}
+
+func TestNNFShape(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"!(p && q)", "!p || !q"},
+		{"!(p || q)", "!p && !q"},
+		{"!X p", "X !p"},
+		{"!(p U q)", "!p R !q"},
+		{"!(p R q)", "!p U !q"},
+		{"!F p", "false R !p"},
+		{"!G p", "true U !p"},
+		{"F p", "true U p"},
+		{"G p", "false R p"},
+		{"!!p", "p"},
+		{"!true", "false"},
+		{"G (p -> F q)", "false R (!p || true U q)"},
+	}
+	for _, c := range cases {
+		got := MustParse(c.in).NNF().String()
+		if got != c.want {
+			t.Errorf("NNF(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// nnfOK reports whether f is in negation normal form: negation only in front
+// of propositions, and no F/G/derived nodes.
+func nnfOK(f *Formula) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Kind {
+	case KNot:
+		return f.L != nil && f.L.Kind == KProp
+	case KEvent, KAlways:
+		return false
+	}
+	return nnfOK(f.L) && nnfOK(f.R)
+}
+
+func TestNNFProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(RandomFormula(rng, 10, []string{"a", "b", "c"}))
+		},
+	}
+	prop := func(f *Formula) bool {
+		g := f.NNF()
+		if !nnfOK(g) {
+			return false
+		}
+		// NNF is idempotent.
+		return g.NNF().Equal(g)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNFSemantics(t *testing.T) {
+	// On random formulas and random finite traces extended with an infinite
+	// lasso of the last letter... full LTL semantics is tested in package
+	// automaton; here we check NNF preserves the set of propositions modulo
+	// the ones erased by constant folding.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		f := RandomFormula(rng, 10, []string{"a", "b"})
+		g := f.NNF()
+		fp := map[string]bool{}
+		for _, p := range f.Props() {
+			fp[p] = true
+		}
+		for _, p := range g.Props() {
+			if !fp[p] {
+				t.Fatalf("NNF(%q) introduced proposition %q", f, p)
+			}
+		}
+	}
+}
+
+func TestProps(t *testing.T) {
+	f := MustParse("G (b && a -> F c) U a")
+	got := f.Props()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Props = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Props = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	f := MustParse("G (p -> F q)")
+	if d := f.TemporalDepth(); d != 2 {
+		t.Errorf("TemporalDepth = %d, want 2", d)
+	}
+	if s := f.Size(); s < 5 {
+		t.Errorf("Size = %d, want >= 5", s)
+	}
+	if d := Prop("p").TemporalDepth(); d != 0 {
+		t.Errorf("TemporalDepth(p) = %d, want 0", d)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("p U (q && r)")
+	b := MustParse("p U (q && r)")
+	c := MustParse("p U (q || r)")
+	if !a.Equal(b) {
+		t.Error("structurally equal formulas reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different formulas reported equal")
+	}
+	if a.Equal(nil) {
+		t.Error("formula equal to nil")
+	}
+}
+
+func TestConstructorsFold(t *testing.T) {
+	if got := And(True(), Prop("p")).String(); got != "p" {
+		t.Errorf("And(true,p) = %q", got)
+	}
+	if got := Or(False(), Prop("p")).String(); got != "p" {
+		t.Errorf("Or(false,p) = %q", got)
+	}
+	if got := Not(Not(Prop("p"))).String(); got != "p" {
+		t.Errorf("!!p = %q", got)
+	}
+	if got := Until(False(), Prop("p")).String(); got != "p" {
+		t.Errorf("false U p = %q", got)
+	}
+	if got := Release(True(), Prop("p")).String(); got != "p" {
+		t.Errorf("true R p = %q", got)
+	}
+	if got := Eventually(False()).String(); got != "false" {
+		t.Errorf("F false = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KTrue, KFalse, KProp, KNot, KAnd, KOr, KNext, KUntil, KRelease, KEvent, KAlways}
+	for _, k := range kinds {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("Kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind formatting broken")
+	}
+}

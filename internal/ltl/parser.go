@@ -1,0 +1,322 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an LTL formula from its textual form.
+//
+// Grammar (loosest to tightest binding):
+//
+//	iff    := impl ( "<->" impl )*
+//	impl   := or ( "->" impl )?           // right associative
+//	or     := and ( ("||" | "|") and )*
+//	and    := until ( ("&&" | "&") until )*
+//	until  := unary ( ("U" | "R") until )?  // right associative
+//	unary  := ("!" | "X" | "F" | "G")* atom
+//	atom   := "true" | "false" | ident | "(" iff ")"
+//
+// Identifiers may contain letters, digits, '_', '.', '<', '>', '=' and '≥'
+// style comparison text such as "x1>=5" so the running example of the paper
+// can be written literally. The single capital letters U, R, X, F, G are
+// reserved operators and cannot be used as proposition names.
+func Parse(input string) (*Formula, error) {
+	p := &parser{src: input}
+	p.next()
+	f, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("ltl: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and constants.
+func MustParse(input string) *Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokTrue
+	tokFalse
+	tokNot
+	tokAnd
+	tokOr
+	tokImpl
+	tokIff
+	tokLParen
+	tokRParen
+	tokU
+	tokR
+	tokX
+	tokF
+	tokG
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+	err error
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		strings.ContainsRune("_.<>=", r)
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && (p.src[p.off] == ' ' || p.src[p.off] == '\t' || p.src[p.off] == '\n' || p.src[p.off] == '\r') {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.off]
+	switch c {
+	case '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+		return
+	case ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+		return
+	case '!':
+		// '!' must not swallow a following '=' belonging to an ident like x!=3;
+		// we do not support '!=' inside identifiers, so plain not.
+		p.off++
+		p.tok = token{tokNot, "!", start}
+		return
+	case '&':
+		p.off++
+		if p.off < len(p.src) && p.src[p.off] == '&' {
+			p.off++
+		}
+		p.tok = token{tokAnd, "&&", start}
+		return
+	case '|':
+		p.off++
+		if p.off < len(p.src) && p.src[p.off] == '|' {
+			p.off++
+		}
+		p.tok = token{tokOr, "||", start}
+		return
+	case '-':
+		if strings.HasPrefix(p.src[p.off:], "->") {
+			p.off += 2
+			p.tok = token{tokImpl, "->", start}
+			return
+		}
+	case '<':
+		if strings.HasPrefix(p.src[p.off:], "<->") {
+			p.off += 3
+			p.tok = token{tokIff, "<->", start}
+			return
+		}
+	}
+	if isIdentRune(rune(c)) {
+		end := p.off
+		for end < len(p.src) && isIdentRune(rune(p.src[end])) {
+			end++
+		}
+		word := p.src[p.off:end]
+		p.off = end
+		switch word {
+		case "true":
+			p.tok = token{tokTrue, word, start}
+		case "false":
+			p.tok = token{tokFalse, word, start}
+		case "U":
+			p.tok = token{tokU, word, start}
+		case "R":
+			p.tok = token{tokR, word, start}
+		case "X":
+			p.tok = token{tokX, word, start}
+		case "F":
+			p.tok = token{tokF, word, start}
+		case "G":
+			p.tok = token{tokG, word, start}
+		default:
+			p.tok = token{tokIdent, word, start}
+		}
+		return
+	}
+	p.tok = token{tokEOF, string(c), start}
+	p.err = fmt.Errorf("ltl: illegal character %q at offset %d", c, start)
+}
+
+func (p *parser) parseIff() (*Formula, error) {
+	l, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIff {
+		p.next()
+		r, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseImpl() (*Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokImpl {
+		p.next()
+		r, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	l, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		p.next()
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUntil() (*Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokU:
+		p.next()
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return Until(l, r), nil
+	case tokR:
+		p.next()
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return Release(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	switch p.tok.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case tokX:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next(f), nil
+	case tokF:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually(f), nil
+	case tokG:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Always(f), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*Formula, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	switch p.tok.kind {
+	case tokTrue:
+		p.next()
+		return True(), nil
+	case tokFalse:
+		p.next()
+		return False(), nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		return Prop(name), nil
+	case tokLParen:
+		p.next()
+		f, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("ltl: expected ')' at offset %d, found %q", p.tok.pos, p.tok.text)
+		}
+		p.next()
+		return f, nil
+	case tokEOF:
+		return nil, fmt.Errorf("ltl: unexpected end of input at offset %d", p.tok.pos)
+	default:
+		return nil, fmt.Errorf("ltl: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+}

@@ -1,0 +1,47 @@
+package ltl
+
+import "math/rand"
+
+// RandomFormula generates a random LTL formula with at most the given number
+// of AST nodes over the supplied proposition names. It is used by
+// property-based tests throughout the repository (the automaton package
+// cross-checks synthesized monitors against brute-force LTL3 semantics on
+// random formulas).
+func RandomFormula(rng *rand.Rand, maxNodes int, props []string) *Formula {
+	if maxNodes <= 1 {
+		switch rng.Intn(8) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return Prop(props[rng.Intn(len(props))])
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return Not(RandomFormula(rng, maxNodes-1, props))
+	case 1:
+		return Next(RandomFormula(rng, maxNodes-1, props))
+	case 2:
+		return Eventually(RandomFormula(rng, maxNodes-1, props))
+	case 3:
+		return Always(RandomFormula(rng, maxNodes-1, props))
+	case 4, 5:
+		l := RandomFormula(rng, (maxNodes-1)/2, props)
+		r := RandomFormula(rng, (maxNodes-1)/2, props)
+		return And(l, r)
+	case 6, 7:
+		l := RandomFormula(rng, (maxNodes-1)/2, props)
+		r := RandomFormula(rng, (maxNodes-1)/2, props)
+		return Or(l, r)
+	case 8:
+		l := RandomFormula(rng, (maxNodes-1)/2, props)
+		r := RandomFormula(rng, (maxNodes-1)/2, props)
+		return Until(l, r)
+	default:
+		l := RandomFormula(rng, (maxNodes-1)/2, props)
+		r := RandomFormula(rng, (maxNodes-1)/2, props)
+		return Release(l, r)
+	}
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChanOption configures a ChanNetwork.
+type ChanOption func(*chanConfig)
+
+type chanConfig struct {
+	latencyMu, latencySigma time.Duration
+	seed                    int64
+}
+
+// WithLatency injects a normally distributed delivery delay on every
+// ordered pair, preserving per-pair FIFO order. A zero mu disables delays.
+func WithLatency(mu, sigma time.Duration, seed int64) ChanOption {
+	return func(c *chanConfig) {
+		c.latencyMu, c.latencySigma, c.seed = mu, sigma, seed
+	}
+}
+
+// ChanNetwork is the in-memory Network used by tests, benchmarks and the
+// experiment harness. Every ordered pair of endpoints has its own FIFO
+// queue drained by a dedicated goroutine, so per-pair order is preserved
+// while cross-pair interleaving is arbitrary — the weakest ordering the
+// paper's algorithm must tolerate.
+type ChanNetwork struct {
+	n      int
+	eps    []*chanEndpoint
+	queues map[[2]int]*unboundedQueue
+	stats  Stats
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+type chanEndpoint struct {
+	id    int
+	net   *ChanNetwork
+	inbox chan Message
+}
+
+// NewChanNetwork creates an in-memory network of n endpoints.
+func NewChanNetwork(n int, opts ...ChanOption) *ChanNetwork {
+	cfg := chanConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nw := &ChanNetwork{n: n, queues: map[[2]int]*unboundedQueue{}}
+	for i := 0; i < n; i++ {
+		nw.eps = append(nw.eps, &chanEndpoint{id: i, net: nw, inbox: make(chan Message, 1024)})
+	}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			q := newUnboundedQueue()
+			nw.queues[[2]int{from, to}] = q
+			nw.wg.Add(1)
+			go nw.drain(q, nw.eps[to].inbox, cfg, int64(from*n+to))
+		}
+	}
+	return nw
+}
+
+// drain forwards one pair's queue into the destination inbox, applying the
+// configured latency.
+func (nw *ChanNetwork) drain(q *unboundedQueue, inbox chan<- Message, cfg chanConfig, salt int64) {
+	defer nw.wg.Done()
+	var rng *rand.Rand
+	if cfg.latencyMu > 0 {
+		rng = rand.New(rand.NewSource(cfg.seed ^ salt))
+	}
+	for {
+		m, ok := q.pop()
+		if !ok {
+			return
+		}
+		if rng != nil {
+			d := time.Duration(rng.NormFloat64()*float64(cfg.latencySigma)) + cfg.latencyMu
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		inbox <- m
+	}
+}
+
+// Endpoint returns endpoint i.
+func (nw *ChanNetwork) Endpoint(i int) Endpoint { return nw.eps[i] }
+
+// N returns the number of endpoints.
+func (nw *ChanNetwork) N() int { return nw.n }
+
+// Stats returns the network counters.
+func (nw *ChanNetwork) Stats() *Stats { return &nw.stats }
+
+// Close drains all pair queues and closes every inbox.
+func (nw *ChanNetwork) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	nw.mu.Unlock()
+	for _, q := range nw.queues {
+		q.close()
+	}
+	nw.wg.Wait()
+	for _, ep := range nw.eps {
+		close(ep.inbox)
+	}
+	return nil
+}
+
+func (e *chanEndpoint) ID() int { return e.id }
+
+func (e *chanEndpoint) Inbox() <-chan Message { return e.inbox }
+
+func (e *chanEndpoint) Send(to int, payload []byte) error {
+	if to < 0 || to >= e.net.n {
+		return fmt.Errorf("transport: endpoint %d does not exist", to)
+	}
+	if to == e.id {
+		return fmt.Errorf("transport: endpoint %d sending to itself", to)
+	}
+	e.net.mu.Lock()
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if closed {
+		return errClosed
+	}
+	q := e.net.queues[[2]int{e.id, to}]
+	msg := Message{From: e.id, To: to, Payload: payload}
+	if !q.push(msg) {
+		return errClosed
+	}
+	e.net.stats.record(e.id, to, len(payload))
+	return nil
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork is a Network whose endpoints exchange length-prefixed frames
+// over loopback TCP connections — monitors talk over real sockets, the
+// closest stdlib analogue of the paper's peer-to-peer WiFi links between iOS
+// devices.
+//
+// Topology: every ordered pair (i → j), i < j shares one TCP connection,
+// established by i dialing j's listener; frames carry the sender id, so a
+// single duplex connection serves both directions. TCP guarantees the FIFO
+// per-pair delivery the algorithm requires.
+type TCPNetwork struct {
+	n      int
+	eps    []*tcpEndpoint
+	stats  Stats
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpEndpoint struct {
+	id    int
+	net   *TCPNetwork
+	inbox chan Message
+	conns []net.Conn // conns[j] = connection shared with endpoint j
+	sendM []sync.Mutex
+}
+
+// NewTCPNetwork builds a fully connected loopback network of n endpoints on
+// ephemeral ports.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	nw := &TCPNetwork{n: n}
+	for i := 0; i < n; i++ {
+		nw.eps = append(nw.eps, &tcpEndpoint{
+			id:    i,
+			net:   nw,
+			inbox: make(chan Message, 4096),
+			conns: make([]net.Conn, n),
+			sendM: make([]sync.Mutex, n),
+		})
+	}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen for endpoint %d: %w", i, err)
+		}
+		listeners[i] = l
+	}
+	// Accept loops: j accepts connections from all i < j; the dialer's first
+	// frame is a 4-byte hello carrying its id.
+	var acceptWG sync.WaitGroup
+	acceptErr := make(chan error, n)
+	for j := 0; j < n; j++ {
+		expect := j // connections from endpoints 0..j-1
+		acceptWG.Add(1)
+		go func(j int) {
+			defer acceptWG.Done()
+			for k := 0; k < expect; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					acceptErr <- err
+					return
+				}
+				from := int(binary.BigEndian.Uint32(hello[:]))
+				nw.eps[j].conns[from] = conn
+			}
+		}(j)
+	}
+	// Dial: i connects to all j > i.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := net.Dial("tcp", listeners[j].Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("transport: dial %d->%d: %w", i, j, err)
+			}
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(i))
+			if _, err := conn.Write(hello[:]); err != nil {
+				return nil, fmt.Errorf("transport: hello %d->%d: %w", i, j, err)
+			}
+			nw.eps[i].conns[j] = conn
+		}
+	}
+	acceptWG.Wait()
+	close(acceptErr)
+	for err := range acceptErr {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	// Reader goroutines: one per connection side.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if conn := nw.eps[i].conns[j]; conn != nil {
+				nw.wg.Add(1)
+				go nw.readLoop(nw.eps[i], j, conn)
+			}
+		}
+	}
+	return nw, nil
+}
+
+// readLoop parses frames from one peer: 4-byte big-endian length + payload.
+func (nw *TCPNetwork) readLoop(ep *tcpEndpoint, from int, conn net.Conn) {
+	defer nw.wg.Done()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		nw.mu.Lock()
+		closed := nw.closed
+		nw.mu.Unlock()
+		if closed {
+			return
+		}
+		ep.inbox <- Message{From: from, To: ep.id, Payload: payload}
+	}
+}
+
+// Endpoint returns endpoint i.
+func (nw *TCPNetwork) Endpoint(i int) Endpoint { return nw.eps[i] }
+
+// N returns the number of endpoints.
+func (nw *TCPNetwork) N() int { return nw.n }
+
+// Stats returns the network counters.
+func (nw *TCPNetwork) Stats() *Stats { return &nw.stats }
+
+// Close tears all connections down and closes the inboxes.
+func (nw *TCPNetwork) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	nw.mu.Unlock()
+	for _, ep := range nw.eps {
+		for _, c := range ep.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	nw.wg.Wait()
+	for _, ep := range nw.eps {
+		close(ep.inbox)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) ID() int { return e.id }
+
+func (e *tcpEndpoint) Inbox() <-chan Message { return e.inbox }
+
+func (e *tcpEndpoint) Send(to int, payload []byte) error {
+	if to < 0 || to >= e.net.n || to == e.id {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	e.net.mu.Lock()
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if closed {
+		return errClosed
+	}
+	conn := e.conns[to]
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	e.sendM[to].Lock()
+	_, err := conn.Write(frame)
+	e.sendM[to].Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: send %d->%d: %w", e.id, to, err)
+	}
+	e.net.stats.record(e.id, to, len(payload))
+	return nil
+}

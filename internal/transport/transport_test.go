@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testNetwork(t *testing.T, mk func(n int) Network) {
+	t.Helper()
+
+	t.Run("basic delivery", func(t *testing.T) {
+		nw := mk(3)
+		defer nw.Close()
+		if nw.N() != 3 {
+			t.Fatalf("N = %d", nw.N())
+		}
+		if err := nw.Endpoint(0).Send(1, []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		m := <-nw.Endpoint(1).Inbox()
+		if m.From != 0 || m.To != 1 || string(m.Payload) != "hello" {
+			t.Fatalf("got %+v", m)
+		}
+	})
+
+	t.Run("per-pair FIFO", func(t *testing.T) {
+		nw := mk(2)
+		defer nw.Close()
+		const k = 200
+		for i := 0; i < k; i++ {
+			if err := nw.Endpoint(0).Send(1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < k; i++ {
+			m := <-nw.Endpoint(1).Inbox()
+			if m.Payload[0] != byte(i) {
+				t.Fatalf("message %d arrived out of order (got %d)", i, m.Payload[0])
+			}
+		}
+	})
+
+	t.Run("concurrent all-to-all", func(t *testing.T) {
+		const n, k = 4, 50
+		nw := mk(n)
+		defer nw.Close()
+		var wg sync.WaitGroup
+		for from := 0; from < n; from++ {
+			wg.Add(1)
+			go func(from int) {
+				defer wg.Done()
+				for i := 0; i < k; i++ {
+					for to := 0; to < n; to++ {
+						if to == from {
+							continue
+						}
+						if err := nw.Endpoint(from).Send(to, []byte{byte(from), byte(i)}); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}
+			}(from)
+		}
+		counts := make([]int, n)
+		var rwg sync.WaitGroup
+		for to := 0; to < n; to++ {
+			rwg.Add(1)
+			go func(to int) {
+				defer rwg.Done()
+				last := map[int]int{}
+				for i := 0; i < (n-1)*k; i++ {
+					m := <-nw.Endpoint(to).Inbox()
+					seq := int(m.Payload[1])
+					if prev, ok := last[m.From]; ok && seq <= prev {
+						t.Errorf("endpoint %d: pair FIFO violated from %d: %d after %d", to, m.From, seq, prev)
+						return
+					}
+					last[m.From] = seq
+					counts[to]++
+				}
+			}(to)
+		}
+		wg.Wait()
+		rwg.Wait()
+		for to, c := range counts {
+			if c != (n-1)*k {
+				t.Errorf("endpoint %d received %d messages, want %d", to, c, (n-1)*k)
+			}
+		}
+		if got := nw.Stats().Messages(); got != int64(n*(n-1)*k) {
+			t.Errorf("stats count %d, want %d", got, n*(n-1)*k)
+		}
+		if nw.Stats().Pair(0, 1) != k {
+			t.Errorf("pair(0,1) = %d, want %d", nw.Stats().Pair(0, 1), k)
+		}
+	})
+
+	t.Run("bad destinations", func(t *testing.T) {
+		nw := mk(2)
+		defer nw.Close()
+		if err := nw.Endpoint(0).Send(0, nil); err == nil {
+			t.Error("self-send accepted")
+		}
+		if err := nw.Endpoint(0).Send(5, nil); err == nil {
+			t.Error("out-of-range destination accepted")
+		}
+	})
+
+	t.Run("close closes inboxes", func(t *testing.T) {
+		nw := mk(2)
+		done := make(chan struct{})
+		go func() {
+			for range nw.Endpoint(1).Inbox() {
+			}
+			close(done)
+		}()
+		if err := nw.Endpoint(0).Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := nw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("inbox not closed after network Close")
+		}
+		if err := nw.Close(); err != nil {
+			t.Fatal("double close should be a no-op")
+		}
+	})
+}
+
+func TestChanNetwork(t *testing.T) {
+	testNetwork(t, func(n int) Network { return NewChanNetwork(n) })
+}
+
+func TestChanNetworkWithLatency(t *testing.T) {
+	testNetwork(t, func(n int) Network {
+		return NewChanNetwork(n, WithLatency(200*time.Microsecond, 50*time.Microsecond, 11))
+	})
+}
+
+func TestTCPNetwork(t *testing.T) {
+	testNetwork(t, func(n int) Network {
+		nw, err := NewTCPNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	})
+}
+
+func TestSendAfterClose(t *testing.T) {
+	nw := NewChanNetwork(2)
+	nw.Close()
+	if err := nw.Endpoint(0).Send(1, []byte("late")); err == nil {
+		t.Error("send after close accepted")
+	}
+}
+
+func TestStatsBytes(t *testing.T) {
+	nw := NewChanNetwork(2)
+	defer nw.Close()
+	payload := make([]byte, 123)
+	if err := nw.Endpoint(0).Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	<-nw.Endpoint(1).Inbox()
+	if nw.Stats().Bytes() != 123 {
+		t.Errorf("bytes = %d", nw.Stats().Bytes())
+	}
+}
+
+func TestUnboundedQueue(t *testing.T) {
+	q := newUnboundedQueue()
+	for i := 0; i < 10; i++ {
+		if !q.push(Message{Payload: []byte{byte(i)}}) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := q.pop()
+		if !ok || m.Payload[0] != byte(i) {
+			t.Fatalf("pop %d: %v %v", i, m, ok)
+		}
+	}
+	q.close()
+	if _, ok := q.pop(); ok {
+		t.Error("pop after close+drain should fail")
+	}
+	if q.push(Message{}) {
+		t.Error("push after close should fail")
+	}
+}
+
+func TestManyEndpoints(t *testing.T) {
+	// Smoke test at the paper's maximum scale (5 devices) over TCP.
+	nw, err := NewTCPNetwork(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			if err := nw.Endpoint(i).Send(j, []byte(fmt.Sprintf("%d->%d", i, j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for j := 0; j < 5; j++ {
+		for k := 0; k < 4; k++ {
+			<-nw.Endpoint(j).Inbox()
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package vclock implements Lamport/Mattern vector clocks, the logical-time
+// substrate of the paper's distributed-program model (Definitions 1–2):
+// events are ordered by the happened-before relation, and two events are
+// concurrent when their vector clocks are incomparable.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock over n processes. VC[i] counts the events of process
+// i known to the clock's owner. The zero-length VC is invalid; use New.
+type VC []int
+
+// New returns a zero vector clock for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Tick increments the component of process i and returns v (mutates in
+// place, for use at event creation).
+func (v VC) Tick(i int) VC {
+	v[i]++
+	return v
+}
+
+// Merge sets v to the componentwise maximum of v and w (mutates v). The two
+// clocks must have the same length.
+func (v VC) Merge(w VC) VC {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vclock: merging clocks of different sizes %d and %d", len(v), len(w)))
+	}
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+	return v
+}
+
+// Max returns a fresh clock holding the componentwise maximum of v and w.
+func Max(v, w VC) VC {
+	out := v.Clone()
+	return out.Merge(w)
+}
+
+// LessEq reports whether v ≤ w componentwise (v happened before or equals w
+// in the causal order when combined with Less).
+func (v VC) LessEq(w VC) bool {
+	if len(v) != len(w) {
+		panic("vclock: comparing clocks of different sizes")
+	}
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports the happened-before relation: v ≤ w componentwise with at
+// least one strict inequality.
+func (v VC) Less(w VC) bool {
+	strict := false
+	if len(v) != len(w) {
+		panic("vclock: comparing clocks of different sizes")
+	}
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+		if v[i] < w[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Concurrent reports whether v and w are incomparable (Definition 2):
+// neither happened before the other.
+func (v VC) Concurrent(w VC) bool {
+	return !v.LessEq(w) && !w.LessEq(v)
+}
+
+// Equal reports componentwise equality.
+func (v VC) Equal(w VC) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string usable as a map key.
+func (v VC) Key() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// String renders the clock as ⟨a,b,...⟩ for debugging output.
+func (v VC) String() string { return "<" + v.Key() + ">" }
+
+// Sum returns the total number of events the clock knows about; it is the
+// topological rank of the corresponding consistent cut in the computation
+// lattice.
+func (v VC) Sum() int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

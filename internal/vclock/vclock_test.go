@@ -1,0 +1,174 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMergeBasics(t *testing.T) {
+	v := New(3)
+	v.Tick(0).Tick(0).Tick(2)
+	if !v.Equal(VC{2, 0, 1}) {
+		t.Fatalf("after ticks: %v", v)
+	}
+	w := VC{1, 5, 0}
+	v.Merge(w)
+	if !v.Equal(VC{2, 5, 1}) {
+		t.Fatalf("after merge: %v", v)
+	}
+	if !Max(VC{1, 2}, VC{2, 1}).Equal(VC{2, 2}) {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := VC{1, 2, 3}
+	w := v.Clone()
+	w.Tick(0)
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestOrderRelations(t *testing.T) {
+	a := VC{1, 0}
+	b := VC{1, 1}
+	c := VC{0, 1}
+	if !a.Less(b) || !a.LessEq(b) {
+		t.Error("a should happen before b")
+	}
+	if b.Less(a) {
+		t.Error("b should not happen before a")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq must be reflexive")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a and c should be concurrent")
+	}
+	if a.Concurrent(b) {
+		t.Error("ordered clocks reported concurrent")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := VC{3, 1, 4}
+	b := VC{3, 1, 4}
+	if !a.Equal(b) {
+		t.Error("equal clocks unequal")
+	}
+	if a.Equal(VC{3, 1}) {
+		t.Error("different lengths equal")
+	}
+	if a.Key() != "3,1,4" {
+		t.Errorf("Key = %q", a.Key())
+	}
+	if a.String() != "<3,1,4>" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.Sum() != 8 {
+		t.Errorf("Sum = %d", a.Sum())
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"merge":  func() { VC{1}.Merge(VC{1, 2}) },
+		"lesseq": func() { VC{1}.LessEq(VC{1, 2}) },
+		"less":   func() { VC{1}.Less(VC{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func randVC(rng *rand.Rand, n int) VC {
+	v := New(n)
+	for i := range v {
+		v[i] = rng.Intn(5)
+	}
+	return v
+}
+
+// TestPartialOrderProperties checks that (VC, Less) is a strict partial
+// order and that Concurrent is symmetric and irreflexive.
+func TestPartialOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 2 + rng.Intn(4)
+			vals[0] = reflect.ValueOf(randVC(rng, n))
+			vals[1] = reflect.ValueOf(randVC(rng, n))
+			vals[2] = reflect.ValueOf(randVC(rng, n))
+		},
+	}
+	prop := func(a, b, c VC) bool {
+		// Irreflexivity and antisymmetry.
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Concurrency is symmetric, irreflexive.
+		if a.Concurrent(a) {
+			return false
+		}
+		if a.Concurrent(b) != b.Concurrent(a) {
+			return false
+		}
+		// Exactly one of: a<b, b<a, a==b, a||b.
+		states := 0
+		if a.Less(b) {
+			states++
+		}
+		if b.Less(a) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeIsLub checks Merge yields the least upper bound.
+func TestMergeIsLub(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		n := 2 + rng.Intn(4)
+		a, b := randVC(rng, n), randVC(rng, n)
+		m := Max(a, b)
+		if !a.LessEq(m) || !b.LessEq(m) {
+			t.Fatalf("Max(%v,%v)=%v is not an upper bound", a, b, m)
+		}
+		// Any other upper bound dominates m.
+		u := Max(a, b)
+		u[rng.Intn(n)]++
+		if !m.LessEq(u) {
+			t.Fatalf("Max not least: %v vs %v", m, u)
+		}
+	}
+}
