@@ -31,12 +31,18 @@ func main() {
 		out     = flag.String("o", "", "output file (.json or .gob); stdout JSON if empty")
 	)
 	flag.Parse()
+	if *n < 1 || *n > 16 {
+		// Two propositions per process against the 32-bit letter encoding.
+		fmt.Fprintf(os.Stderr, "tracegen: -n must be between 1 and 16, got %d\n", *n)
+		os.Exit(2)
+	}
 
 	ts := dist.Generate(dist.GenConfig{
 		N: *n, InternalPerProc: *events,
 		EvtMu: *evtMu, EvtSigma: *evtSig,
 		CommMu: *commMu, CommSigma: *commSig,
-		TrueProb: *trueP, PlantGoal: *plant, Seed: *seed,
+		TrueProbs: dist.UniformTrueProbs(*trueP),
+		PlantGoal: *plant, Seed: *seed,
 	})
 	if err := ts.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen: generated trace invalid:", err)

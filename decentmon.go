@@ -147,8 +147,8 @@ func PerProcessProps(n int, suffixes ...string) *PropMap {
 }
 
 // Generate produces a reproducible execution of the §5.1 case-study
-// program: normal-distribution waits, broadcast communication events, two
-// boolean propositions per process.
+// program: normal-distribution waits, point-to-point communication events,
+// two boolean propositions per process.
 func Generate(cfg GenConfig) *TraceSet { return dist.Generate(cfg) }
 
 // LoadTraces reads a trace set saved by (*TraceSet).SaveFile.

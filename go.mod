@@ -1,0 +1,3 @@
+module decentmon
+
+go 1.24

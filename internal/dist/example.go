@@ -1,0 +1,37 @@
+package dist
+
+import "decentmon/internal/vclock"
+
+// RunningExampleProperty is the paper's Fig. 2.3 property
+// ψ = G((x1≥5) → ((x2≥15) U (x1=10))), written over the three atomic
+// propositions of the running example ("x1>=5" and "x1=10" owned by P0,
+// "x2>=15" owned by P1).
+const RunningExampleProperty = "G (x1>=5 -> (x2>=15 U x1=10))"
+
+// RunningExample returns the paper's Fig. 2.1 two-process program:
+//
+//	P1: send(m1); x1=5; x1=10; recv(m2)
+//	P2: recv(m1); x2=15; x2=20; send(m2)
+//
+// Its computation lattice (Fig. 2.2b) has 17 consistent cuts, and over them
+// ψ evaluates to the verdict set {⊥, ?} (Chapter 3, Fig. 3.1).
+func RunningExample() *TraceSet {
+	pm := NewPropMap()
+	pm.MustAdd("x1>=5", 0)  // bit 0 of P0's state
+	pm.MustAdd("x1=10", 0)  // bit 1 of P0's state
+	pm.MustAdd("x2>=15", 1) // bit 0 of P1's state
+
+	p0 := &Trace{Proc: 0, Init: 0, Events: []*Event{
+		{Proc: 0, SN: 1, Type: Send, Peer: 1, MsgID: 1, State: 0, VC: vclock.VC{1, 0}, Time: 1},
+		{Proc: 0, SN: 2, Type: Internal, Peer: -1, State: 0b01, VC: vclock.VC{2, 0}, Time: 2},   // x1=5
+		{Proc: 0, SN: 3, Type: Internal, Peer: -1, State: 0b11, VC: vclock.VC{3, 0}, Time: 3},   // x1=10
+		{Proc: 0, SN: 4, Type: Recv, Peer: 1, MsgID: 2, State: 0b11, VC: vclock.VC{4, 4}, Time: 6},
+	}}
+	p1 := &Trace{Proc: 1, Init: 0, Events: []*Event{
+		{Proc: 1, SN: 1, Type: Recv, Peer: 0, MsgID: 1, State: 0, VC: vclock.VC{1, 1}, Time: 1.5},
+		{Proc: 1, SN: 2, Type: Internal, Peer: -1, State: 0b1, VC: vclock.VC{1, 2}, Time: 2.5}, // x2=15
+		{Proc: 1, SN: 3, Type: Internal, Peer: -1, State: 0b1, VC: vclock.VC{1, 3}, Time: 3.5}, // x2=20
+		{Proc: 1, SN: 4, Type: Send, Peer: 0, MsgID: 2, State: 0b1, VC: vclock.VC{1, 4}, Time: 4.5},
+	}}
+	return &TraceSet{Props: pm, Traces: []*Trace{p0, p1}}
+}

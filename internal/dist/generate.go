@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"decentmon/internal/vclock"
+)
+
+// genSuffixes are the per-process propositions of the case study (§5.1):
+// every process owns two booleans, P<i>.p and P<i>.q.
+var genSuffixes = []string{"p", "q"}
+
+// GenConfig parameterizes the case-study workload generator. Zero values
+// take the paper's settings where one exists (Evtµ=3s, Evtσ=1s); CommMu <= 0
+// disables communication entirely (the "No comm" extreme of Fig. 5.9).
+type GenConfig struct {
+	// N is the number of processes.
+	N int
+	// InternalPerProc is the number of internal (valuation-change) events
+	// each process performs; the process terminates after the last one.
+	InternalPerProc int
+	// EvtMu/EvtSigma are the mean/stddev seconds between internal events
+	// (paper: 3, 1; defaults applied when EvtMu <= 0).
+	EvtMu, EvtSigma float64
+	// CommMu/CommSigma are the mean/stddev seconds between communication
+	// events of one process; CommMu <= 0 disables communication.
+	CommMu, CommSigma float64
+	// TrueProbs is the per-suffix ("p", "q") probability a proposition is
+	// true after an internal event; absent suffixes default to 0.5. Use
+	// UniformTrueProbs for the same probability everywhere.
+	TrueProbs map[string]float64
+	// InitTrue lists the suffixes whose propositions start true at every
+	// process (the §5.1 "designed traces" raise p initially for the
+	// until-family properties).
+	InitTrue []string
+	// PlantGoal forces every proposition true at each process's final
+	// internal event, guaranteeing a lattice path into the goal global
+	// state ("the variable valuation change events were designed such that
+	// there would be a path ... that would lead to a final state", §5.1).
+	PlantGoal bool
+	// Seed makes the generated execution reproducible.
+	Seed int64
+}
+
+// UniformTrueProbs builds a TrueProbs map assigning the same probability to
+// every proposition suffix the generator knows, including an explicit 0.
+func UniformTrueProbs(p float64) map[string]float64 {
+	out := make(map[string]float64, len(genSuffixes))
+	for _, s := range genSuffixes {
+		out[s] = p
+	}
+	return out
+}
+
+// Event-queue items of the generator's discrete-event simulation.
+type genKind int
+
+const (
+	genInternal genKind = iota
+	genComm
+	genDeliver
+)
+
+type genItem struct {
+	time float64
+	seq  int // FIFO tie-break for equal times
+	kind genKind
+	proc int
+	// Delivery payload (genDeliver only).
+	from, msgID int
+	sendVC      vclock.VC
+}
+
+type genQueue struct {
+	items []genItem
+	seq   int
+}
+
+func (q *genQueue) Len() int { return len(q.items) }
+func (q *genQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+func (q *genQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *genQueue) Push(x interface{}) { q.items = append(q.items, x.(genItem)) }
+func (q *genQueue) Pop() interface{} {
+	last := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return last
+}
+
+func (q *genQueue) add(it genItem) {
+	it.seq = q.seq
+	q.seq++
+	heap.Push(q, it)
+}
+
+func (q *genQueue) next() genItem { return heap.Pop(q).(genItem) }
+
+// Generate produces a reproducible execution of the §5.1 case-study program:
+// n processes over the PerProcess(n, "p", "q") proposition space, each
+// performing InternalPerProc valuation changes with normally distributed
+// waits, interleaved with point-to-point communication events whose receive
+// merges the sender's vector clock. Timestamps are strictly increasing
+// globally and respect the happened-before order, so the physical execution
+// is one linearization of the causal order (the property hybrid-clock
+// evaluation relies on).
+func Generate(cfg GenConfig) *TraceSet {
+	n := cfg.N
+	ts := &TraceSet{Props: PerProcess(n, genSuffixes...)}
+	if n <= 0 {
+		return ts
+	}
+
+	evtMu, evtSigma := cfg.EvtMu, cfg.EvtSigma
+	if evtMu <= 0 {
+		evtMu = 3
+		if evtSigma == 0 {
+			evtSigma = 1
+		}
+	}
+	commOn := cfg.CommMu > 0 && n > 1
+
+	probs := make([]float64, len(genSuffixes))
+	for i, s := range genSuffixes {
+		probs[i] = 0.5
+		if v, ok := cfg.TrueProbs[s]; ok {
+			probs[i] = v
+		}
+	}
+	var init LocalState
+	for _, s := range cfg.InitTrue {
+		for i, suf := range genSuffixes {
+			if s == suf {
+				init |= 1 << i
+			}
+		}
+	}
+	allTrue := LocalState(1)<<len(genSuffixes) - 1
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wait := func(mu, sigma float64) float64 {
+		d := mu + rng.NormFloat64()*sigma
+		if d < 0.01 {
+			d = 0.01
+		}
+		return d
+	}
+
+	clocks := make([]vclock.VC, n)
+	states := make([]LocalState, n)
+	remaining := make([]int, n)
+	for p := 0; p < n; p++ {
+		ts.Traces = append(ts.Traces, &Trace{Proc: p, Init: init})
+		clocks[p] = vclock.New(n)
+		states[p] = init
+		remaining[p] = cfg.InternalPerProc
+	}
+
+	q := &genQueue{}
+	for p := 0; p < n; p++ {
+		if remaining[p] > 0 {
+			q.add(genItem{time: wait(evtMu, evtSigma), kind: genInternal, proc: p})
+			if commOn {
+				q.add(genItem{time: wait(cfg.CommMu, cfg.CommSigma), kind: genComm, proc: p})
+			}
+		}
+	}
+
+	// emit records one event; nudging the timestamp past the previously
+	// emitted one keeps physical time a strict linearization of the causal
+	// (pop) order even when scheduled times collide.
+	lastTime := 0.0
+	emit := func(p int, e *Event, at float64) {
+		if at <= lastTime {
+			at = lastTime + 1e-6
+		}
+		lastTime = at
+		e.Proc = p
+		e.SN = clocks[p][p]
+		e.VC = clocks[p].Clone()
+		e.Time = at
+		ts.Traces[p].Events = append(ts.Traces[p].Events, e)
+	}
+
+	msgSeq := 0
+	for q.Len() > 0 {
+		it := q.next()
+		p := it.proc
+		switch it.kind {
+		case genInternal:
+			remaining[p]--
+			var s LocalState
+			if cfg.PlantGoal && remaining[p] == 0 {
+				s = allTrue
+			} else {
+				for i := range genSuffixes {
+					if rng.Float64() < probs[i] {
+						s |= 1 << i
+					}
+				}
+			}
+			states[p] = s
+			clocks[p].Tick(p)
+			emit(p, &Event{Type: Internal, Peer: -1, State: s}, it.time)
+			if remaining[p] > 0 {
+				q.add(genItem{time: it.time + wait(evtMu, evtSigma), kind: genInternal, proc: p})
+			}
+		case genComm:
+			if remaining[p] == 0 {
+				continue // the program process has terminated
+			}
+			dst := rng.Intn(n - 1)
+			if dst >= p {
+				dst++
+			}
+			msgSeq++
+			clocks[p].Tick(p)
+			emit(p, &Event{Type: Send, Peer: dst, MsgID: msgSeq, State: states[p]}, it.time)
+			transit := 0.02 + rng.Float64()*0.05
+			q.add(genItem{
+				time: it.time + transit, kind: genDeliver, proc: dst,
+				from: p, msgID: msgSeq, sendVC: clocks[p].Clone(),
+			})
+			q.add(genItem{time: it.time + wait(cfg.CommMu, cfg.CommSigma), kind: genComm, proc: p})
+		case genDeliver:
+			clocks[p].Tick(p)
+			clocks[p].Merge(it.sendVC)
+			emit(p, &Event{Type: Recv, Peer: it.from, MsgID: it.msgID, State: states[p]}, it.time)
+		}
+	}
+	return ts
+}

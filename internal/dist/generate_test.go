@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkComputation asserts the ISSUE-level validity properties directly
+// (beyond Validate): per-process clocks tick by exactly one own-component
+// step per event, and every Recv is matched by a Send with the same MsgID
+// that is in the receive's causal past.
+func checkComputation(t *testing.T, ts *TraceSet) {
+	t.Helper()
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("invalid computation: %v", err)
+	}
+	sends := map[int]*Event{}
+	for _, tr := range ts.Traces {
+		for i, e := range tr.Events {
+			if e.VC[tr.Proc] != i+1 {
+				t.Fatalf("process %d event %d: own clock component %d", tr.Proc, i+1, e.VC[tr.Proc])
+			}
+			if i > 0 {
+				prev := tr.Events[i-1]
+				if !prev.VC.Less(e.VC) {
+					t.Fatalf("process %d: clock %v not strictly after %v", tr.Proc, e.VC, prev.VC)
+				}
+				if e.Time <= prev.Time {
+					t.Fatalf("process %d: time %v not after %v", tr.Proc, e.Time, prev.Time)
+				}
+			}
+			if e.Type == Send {
+				sends[e.MsgID] = e
+			}
+		}
+	}
+	for _, tr := range ts.Traces {
+		for _, e := range tr.Events {
+			if e.Type != Recv {
+				continue
+			}
+			s, ok := sends[e.MsgID]
+			if !ok {
+				t.Fatalf("recv of message %d has no send", e.MsgID)
+			}
+			if !s.VC.Less(e.VC) {
+				t.Fatalf("send clock %v not in causal past of recv clock %v", s.VC, e.VC)
+			}
+			if s.Time >= e.Time {
+				t.Fatalf("message %d received at %v before sent at %v", e.MsgID, e.Time, s.Time)
+			}
+			if len(ts.Traces) <= s.Proc || s.Peer != e.Proc || s.Proc != e.Peer {
+				t.Fatalf("message %d endpoints inconsistent: send %d->%d, recv at %d from %d",
+					e.MsgID, s.Proc, s.Peer, e.Proc, e.Peer)
+			}
+		}
+	}
+}
+
+func TestGenerateValidComputations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		cfg := GenConfig{
+			N:               1 + rng.Intn(5),
+			InternalPerProc: rng.Intn(12),
+			CommMu:          []float64{-1, 0, 1, 3, 8}[rng.Intn(5)],
+			CommSigma:       rng.Float64() * 2,
+			PlantGoal:       trial%2 == 0,
+			Seed:            rng.Int63(),
+		}
+		ts := Generate(cfg)
+		if ts.N() != cfg.N {
+			t.Fatalf("trial %d: %d traces, want %d", trial, ts.N(), cfg.N)
+		}
+		if ts.Props.Len() != 2*cfg.N {
+			t.Fatalf("trial %d: %d props, want %d", trial, ts.Props.Len(), 2*cfg.N)
+		}
+		checkComputation(t, ts)
+		// Every process performs exactly InternalPerProc internal events.
+		for p, tr := range ts.Traces {
+			internals := 0
+			for _, e := range tr.Events {
+				if e.Type == Internal {
+					internals++
+				}
+			}
+			if internals != cfg.InternalPerProc {
+				t.Fatalf("trial %d: process %d has %d internal events, want %d",
+					trial, p, internals, cfg.InternalPerProc)
+			}
+		}
+	}
+}
+
+func TestGenerateNoCommIsInternalOnly(t *testing.T) {
+	ts := Generate(GenConfig{N: 3, InternalPerProc: 4, CommMu: -1, Seed: 9})
+	for p, tr := range ts.Traces {
+		if tr.Len() != 4 {
+			t.Errorf("process %d has %d events, want 4", p, tr.Len())
+		}
+		for _, e := range tr.Events {
+			if e.Type != Internal {
+				t.Errorf("process %d has a %v event without communication", p, e.Type)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedDeterminism(t *testing.T) {
+	cfg := GenConfig{N: 4, InternalPerProc: 8, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 42}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different trace sets")
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical trace sets")
+	}
+}
+
+func TestGeneratePlantGoalReachable(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ts := Generate(GenConfig{
+			N: 3, InternalPerProc: 5, CommMu: 2, CommSigma: 0.5,
+			TrueProbs: map[string]float64{"p": 0.1, "q": 0.1},
+			PlantGoal: true, Seed: seed,
+		})
+		final := ts.StateAtCut(ts.FinalCut())
+		for p, s := range final {
+			if s != 0b11 {
+				t.Errorf("seed %d: process %d final state %b, want all propositions true", seed, p, s)
+			}
+		}
+	}
+}
+
+func TestGenerateInitTrueAndProbs(t *testing.T) {
+	ts := Generate(GenConfig{
+		N: 2, InternalPerProc: 30, CommMu: -1,
+		TrueProbs: map[string]float64{"p": 1, "q": 0},
+		InitTrue:  []string{"p"},
+		Seed:      5,
+	})
+	for p, tr := range ts.Traces {
+		if tr.Init != 0b01 {
+			t.Errorf("process %d initial state %b, want p only", p, tr.Init)
+		}
+		for _, e := range tr.Events {
+			if e.State != 0b01 {
+				t.Errorf("process %d state %b under p=1/q=0 probabilities", p, e.State)
+			}
+		}
+	}
+}
+
+func TestGenerateGlobalTimesStrictlyIncrease(t *testing.T) {
+	ts := Generate(GenConfig{N: 4, InternalPerProc: 6, CommMu: 1, CommSigma: 0.2, Seed: 11})
+	var all []float64
+	for _, tr := range ts.Traces {
+		for _, e := range tr.Events {
+			all = append(all, e.Time)
+		}
+	}
+	seen := map[float64]bool{}
+	for _, tm := range all {
+		if seen[tm] {
+			t.Fatalf("duplicate global timestamp %v", tm)
+		}
+		seen[tm] = true
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	ts := Generate(GenConfig{})
+	if ts.N() != 0 || ts.TotalEvents() != 0 {
+		t.Errorf("zero config produced %d traces / %d events", ts.N(), ts.TotalEvents())
+	}
+	if ts.Props == nil || ts.Props.Len() != 0 {
+		t.Error("zero config must still carry an (empty) proposition map")
+	}
+}

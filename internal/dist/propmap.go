@@ -1,0 +1,88 @@
+package dist
+
+import "fmt"
+
+// maxProps bounds the proposition count: monitor letters are uint32 bitmasks
+// (bit i ↔ proposition i), and LocalState packs each process's propositions
+// into a uint32 too.
+const maxProps = 32
+
+// PropMap is the proposition space of a property: an ordered list of atomic
+// propositions, each owned by exactly one process. The order defines the
+// monitor-automaton letter encoding (letter bit i ↔ Names[i]); Owner and
+// LocalBit give, per proposition, the owning process and the bit position
+// inside that process's LocalState.
+type PropMap struct {
+	// Names are the propositions in letter-bit order.
+	Names []string
+	// Owner[i] is the process owning Names[i].
+	Owner []int
+	// LocalBit[i] is the bit of Names[i] inside its owner's LocalState.
+	LocalBit []int
+}
+
+// NewPropMap returns an empty proposition space.
+func NewPropMap() *PropMap { return &PropMap{} }
+
+// Len returns the number of propositions.
+func (pm *PropMap) Len() int { return len(pm.Names) }
+
+// Add appends a proposition owned by the given process. The proposition's
+// local bit is the count of propositions the process already owns.
+func (pm *PropMap) Add(name string, owner int) error {
+	if name == "" {
+		return fmt.Errorf("dist: empty proposition name")
+	}
+	if owner < 0 {
+		return fmt.Errorf("dist: proposition %q has negative owner %d", name, owner)
+	}
+	if len(pm.Names) >= maxProps {
+		return fmt.Errorf("dist: proposition space full (%d propositions)", maxProps)
+	}
+	bit := 0
+	for i, n := range pm.Names {
+		if n == name {
+			return fmt.Errorf("dist: duplicate proposition %q", name)
+		}
+		if pm.Owner[i] == owner {
+			bit++
+		}
+	}
+	pm.Names = append(pm.Names, name)
+	pm.Owner = append(pm.Owner, owner)
+	pm.LocalBit = append(pm.LocalBit, bit)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (pm *PropMap) MustAdd(name string, owner int) {
+	if err := pm.Add(name, owner); err != nil {
+		panic(err)
+	}
+}
+
+// PerProcess builds the standard proposition space where each of n processes
+// owns one proposition per suffix, named P<i>.<suffix> and ordered process-
+// major: P0.p, P0.q, P1.p, P1.q, ...
+func PerProcess(n int, suffixes ...string) *PropMap {
+	pm := NewPropMap()
+	for i := 0; i < n; i++ {
+		for _, s := range suffixes {
+			pm.MustAdd(fmt.Sprintf("P%d.%s", i, s), i)
+		}
+	}
+	return pm
+}
+
+// Letter converts a global state into the monitor-automaton letter: bit i of
+// the result is the truth value of Names[i] in g.
+func (pm *PropMap) Letter(g GlobalState) uint32 {
+	var letter uint32
+	for i := range pm.Names {
+		o := pm.Owner[i]
+		if o < len(g) && (g[o]>>pm.LocalBit[i])&1 == 1 {
+			letter |= 1 << i
+		}
+	}
+	return letter
+}
