@@ -11,6 +11,8 @@ package decentmon
 // EXPERIMENTS.md for the measured-vs-paper comparison).
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -397,6 +399,154 @@ func BenchmarkLassoEvaluator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		automaton.EvalLasso(f, []string{"a", "b"}, word, 16)
+	}
+}
+
+// --- topology scenarios (beyond the paper's uniform unicast) ---
+
+// benchTopology runs a decentralized detection-only run of property B over
+// 6 processes communicating in the given shape — beyond the paper's largest
+// scale (5), with drifting valuations.
+func benchTopology(b *testing.B, topo dist.Topology) {
+	cfg := dist.GenConfig{
+		N: 6, InternalPerProc: 8,
+		CommMu: 3, CommSigma: 1,
+		Topology: topo,
+		Clusters: 2, CrossProb: 0.1,
+		TrueProbs: map[string]float64{"p": 0.3, "q": 0.25},
+		PlantGoal: true, Seed: 1,
+	}
+	mon, err := props.Build("B", 6, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := dist.Generate(cfg)
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.NetMessages
+	}
+	b.ReportMetric(float64(ts.TotalEvents()), "events")
+	b.ReportMetric(float64(msgs), "monitor-msgs")
+}
+
+// BenchmarkTopologyRing monitors a 6-process ring pipeline.
+func BenchmarkTopologyRing(b *testing.B) { benchTopology(b, dist.TopoRing) }
+
+// BenchmarkTopologyStar monitors hub-and-spoke communication through
+// process 0.
+func BenchmarkTopologyStar(b *testing.B) { benchTopology(b, dist.TopoStar) }
+
+// BenchmarkTopologyBroadcast monitors broadcast bursts (every communication
+// event fans out to all 5 peers).
+func BenchmarkTopologyBroadcast(b *testing.B) { benchTopology(b, dist.TopoBroadcast) }
+
+// BenchmarkTopologyClustered monitors two partitioned clusters with 10%
+// cross-cluster traffic.
+func BenchmarkTopologyClustered(b *testing.B) { benchTopology(b, dist.TopoClustered) }
+
+// BenchmarkTopologySweep runs the experiments-package topology ablation
+// (property C, 4 processes, all five shapes) end to end.
+func BenchmarkTopologySweep(b *testing.B) {
+	cfg := benchCfg
+	cfg.InternalPerProc = 8
+	var msgs float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Topologies("C", 4, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = 0
+		for _, c := range cells {
+			msgs += c.Messages
+		}
+	}
+	b.ReportMetric(msgs, "monitor-msgs")
+}
+
+// --- streaming pipeline ---
+
+// streamBuf renders a generated execution in the streaming (.jsonl) format
+// once, for the reader-side benchmarks.
+func streamBuf(b *testing.B, cfg dist.GenConfig) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := dist.Generate(cfg).WriteJSONL(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkStreamingReader measures the chunked validating reader: decode +
+// incremental validation of a ~29k-event stream.
+func BenchmarkStreamingReader(b *testing.B) {
+	data := streamBuf(b, dist.GenConfig{
+		N: 4, InternalPerProc: 5000, CommMu: 3, CommSigma: 1, Seed: 1,
+	})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		tr, err := dist.OpenStream(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for {
+			_, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			events++
+		}
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkPathMonitor measures the bounded-memory single-path evaluator
+// (dlmon's -bounded mode) over a ~29k-event execution.
+func BenchmarkPathMonitor(b *testing.B) {
+	ts := dist.Generate(dist.GenConfig{
+		N: 4, InternalPerProc: 5000, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 1,
+	})
+	mon, err := props.Build("B", 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := central.RunPath(ts.Stream(), mon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != automaton.Top {
+			b.Fatalf("path verdict %v, want T", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkStreamedDecentralizedRun measures one full decentralized run fed
+// from the streaming path (compare BenchmarkDecentralizedRun).
+func BenchmarkStreamedDecentralizedRun(b *testing.B) {
+	ts := dist.Generate(dist.GenConfig{
+		N: 4, InternalPerProc: 10, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 1,
+	})
+	mon, err := props.Build("D", 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunStream(ts.Stream(), core.RunConfig{Automaton: mon}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -3,17 +3,28 @@
 // in-memory or loopback-TCP network, and reports the verdict set plus the
 // overhead metrics of Chapter 5.
 //
+// Trace files are consumed either materialized (the default for .json/.gob)
+// or as a stream: -stream feeds the decentralized monitors incrementally
+// from the reader without materializing the trace, and -bounded evaluates
+// the physical-time lattice path in O(n) memory — with a ".jsonl" trace the
+// whole pipeline's footprint is then independent of trace length, so
+// multi-million-event executions can be monitored on a laptop.
+//
 // Usage:
 //
 //	tracegen -n 3 -events 10 -plant -o t.gob
 //	dlmon -trace t.gob 'F (P0.p && P1.p && P2.p)'
 //	dlmon -trace t.gob -case B -tcp -compare
+//	tracegen -n 8 -events 200000 -topo ring -o big.jsonl
+//	dlmon -trace big.jsonl -bounded -case B
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/central"
@@ -27,9 +38,11 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace set file (.json or .gob) from tracegen")
+		tracePath = flag.String("trace", "", "trace set file (.json, .jsonl or .gob) from tracegen")
 		caseProp  = flag.String("case", "", "use a case-study property A..F instead of a formula argument")
 		shape     = flag.String("shape", "minimal", "automaton construction: minimal or paper")
+		stream    = flag.Bool("stream", false, "feed the monitors from the streaming reader instead of materializing the trace")
+		bounded   = flag.Bool("bounded", false, "stream the physical-time lattice path in bounded memory (implies -stream)")
 		tcp       = flag.Bool("tcp", false, "run monitors over loopback TCP instead of in-memory channels")
 		replic    = flag.Bool("replicated", false, "use the replicated-broadcast baseline mode")
 		noFin     = flag.Bool("nofinalize", false, "skip extending views to the final cut")
@@ -41,15 +54,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: dlmon -trace FILE [-case A..F | 'formula'] [flags]")
 		os.Exit(2)
 	}
-	ts, err := dist.LoadFile(*tracePath)
-	if err != nil {
-		fatal(err)
+	if *compare && (*stream || *bounded) {
+		// The oracle and the centralized baseline walk the materialized
+		// lattice; comparing defeats the purpose of streaming.
+		fatal(fmt.Errorf("-compare needs the materialized path; drop -stream/-bounded"))
+	}
+	if *bounded && (*tcp || *replic || *noFin || *pace > 0) {
+		// The bounded path evaluator has no monitor network, modes or
+		// finalization; rejecting beats silently dropping the flags.
+		fatal(fmt.Errorf("-bounded is incompatible with -tcp, -replicated, -nofinalize and -pace"))
+	}
+
+	// The stream header (or the loaded set) provides the proposition space
+	// before any event is consumed, so the automaton is built up front.
+	var (
+		ts  *dist.TraceSet
+		src dist.EventSource
+		pm  *dist.PropMap
+		n   int
+		err error
+	)
+	if *stream || *bounded {
+		src, err = dist.StreamFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer src.Close()
+		pm, n = src.Props(), src.N()
+	} else {
+		ts, err = dist.LoadFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		pm, n = ts.Props, ts.N()
 	}
 
 	var formula string
 	switch {
 	case *caseProp != "":
-		formula, err = props.Formula(*caseProp, ts.N())
+		formula, err = props.Formula(*caseProp, n)
 		if err != nil {
 			fatal(err)
 		}
@@ -64,12 +107,32 @@ func main() {
 	}
 	var mon *automaton.Monitor
 	if *shape == "paper" {
-		mon, err = automaton.BuildProgression(f, ts.Props.Names)
+		mon, err = automaton.BuildProgression(f, pm.Names)
 	} else {
-		mon, err = automaton.Build(f, ts.Props.Names)
+		mon, err = automaton.Build(f, pm.Names)
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *bounded {
+		res, err := central.RunPath(src, mon)
+		if err != nil {
+			fatal(err)
+		}
+		// Only a .jsonl input actually streams; the other formats are
+		// materialized behind the same interface, so say so.
+		how := "streamed, bounded memory"
+		if !strings.EqualFold(filepath.Ext(*tracePath), ".jsonl") {
+			how = "materialized input; use .jsonl for bounded memory"
+		}
+		fmt.Printf("property       : %s\n", formula)
+		fmt.Printf("processes      : %d, events: %d (%s)\n", n, res.Events, how)
+		fmt.Printf("path verdict   : %v\n", res.Verdict)
+		if res.FirstConclusiveEvents >= 0 {
+			fmt.Printf("conclusive at  : event %d\n", res.FirstConclusiveEvents)
+		}
+		return
 	}
 
 	cfg := core.RunConfig{
@@ -82,19 +145,32 @@ func main() {
 		cfg.Mode = core.ModeReplicated
 	}
 	if *tcp {
-		nw, err := transport.NewTCPNetwork(ts.N())
+		nw, err := transport.NewTCPNetwork(n)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Network = nw
 	}
-	res, err := core.Run(cfg)
+	var res *core.RunResult
+	if *stream {
+		res, err = core.RunStream(src, cfg)
+	} else {
+		res, err = core.Run(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
+	events := 0
+	if ts != nil {
+		events = ts.TotalEvents()
+	} else {
+		for _, m := range res.Metrics {
+			events += m.EventsProcessed
+		}
+	}
 	fmt.Printf("property       : %s\n", formula)
-	fmt.Printf("processes      : %d, events: %d\n", ts.N(), ts.TotalEvents())
+	fmt.Printf("processes      : %d, events: %d\n", n, events)
 	fmt.Printf("verdicts       : %v\n", res.VerdictList())
 	fmt.Printf("monitor msgs   : %d (%d bytes)\n", res.NetMessages, res.NetBytes)
 	if res.FirstConclusive > 0 {

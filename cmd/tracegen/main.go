@@ -1,63 +1,137 @@
 // tracegen generates the case-study trace files of §5.1/§5.2: per-process
 // event sequences with normally distributed wait times between valuation
 // changes (Evtµ/Evtσ) and communication bursts (Commµ/Commσ), vector clocks
-// included.
+// included. The -topo flag selects the communication topology (uniform
+// random unicast, ring, star, broadcast bursts, or partitioned clusters),
+// and a ".jsonl" output is written through the streaming pipeline, so
+// multi-million-event traces generate in memory independent of their length.
 //
 // Usage:
 //
 //	tracegen -n 4 -events 20 -commmu 3 -seed 7 -o trace.json
 //	tracegen -n 5 -events 50 -plant -o trace.gob
+//	tracegen -n 32 -suffixes p -topo ring -events 1000000 -o trace.jsonl
+//	tracegen -n 12 -topo clustered -clusters 3 -crossprob 0.05 -o trace.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"decentmon/internal/dist"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 4, "number of processes")
-		events  = flag.Int("events", 20, "internal (valuation-change) events per process")
-		evtMu   = flag.Float64("evtmu", 3, "mean seconds between internal events")
-		evtSig  = flag.Float64("evtsigma", 1, "stddev of internal-event wait")
-		commMu  = flag.Float64("commmu", 3, "mean seconds between communication events (<=0 disables)")
-		commSig = flag.Float64("commsigma", 1, "stddev of communication wait")
-		trueP   = flag.Float64("truep", 0.5, "probability a proposition is true after an internal event")
-		plant   = flag.Bool("plant", false, "force all propositions true at each process's final internal event")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (.json or .gob); stdout JSON if empty")
+		n        = fs.Int("n", 4, "number of processes (1..32; above 16 pass fewer -suffixes)")
+		events   = fs.Int("events", 20, "internal (valuation-change) events per process")
+		evtMu    = fs.Float64("evtmu", 3, "mean seconds between internal events")
+		evtSig   = fs.Float64("evtsigma", 1, "stddev of internal-event wait")
+		commMu   = fs.Float64("commmu", 3, "mean seconds between communication events (<=0 disables)")
+		commSig  = fs.Float64("commsigma", 1, "stddev of communication wait")
+		topo     = fs.String("topo", "uniform", "communication topology: uniform, ring, star, broadcast or clustered")
+		hub      = fs.Int("hub", 0, "center process of the star topology")
+		clusters = fs.Int("clusters", 2, "process groups of the clustered topology")
+		crossP   = fs.Float64("crossprob", 0, "probability a clustered communication crosses clusters")
+		suffixes = fs.String("suffixes", "p,q", "comma-separated per-process proposition suffixes")
+		trueP    = fs.Float64("truep", 0.5, "probability a proposition is true after an internal event")
+		plant    = fs.Bool("plant", false, "force all propositions true at each process's final internal event")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("o", "", "output file (.json, .jsonl or .gob); stdout JSON if empty")
 	)
-	flag.Parse()
-	if *n < 1 || *n > 16 {
-		// Two propositions per process against the 32-bit letter encoding.
-		fmt.Fprintf(os.Stderr, "tracegen: -n must be between 1 and 16, got %d\n", *n)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
 
-	ts := dist.Generate(dist.GenConfig{
+	suf := strings.Split(*suffixes, ",")
+	for i := range suf {
+		suf[i] = strings.TrimSpace(suf[i])
+	}
+	maxN := dist.MaxProps / len(suf)
+	switch {
+	case *n < 1 || *n > dist.MaxProps:
+		// The hard ceiling: even one proposition per process caps out the
+		// 32-bit letter encoding at 32 processes.
+		fmt.Fprintf(stderr, "tracegen: -n must be between 1 and %d (the %d-process ceiling of the 32-bit letter encoding), got %d\n",
+			dist.MaxProps, dist.MaxProps, *n)
+		return 2
+	case *n > maxN:
+		fmt.Fprintf(stderr, "tracegen: %d processes × %d propositions exceed the %d-proposition space; pass fewer -suffixes (e.g. -suffixes p allows up to %d processes)\n",
+			*n, len(suf), dist.MaxProps, dist.MaxProps)
+		return 2
+	}
+	topology, err := dist.ParseTopology(*topo)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+
+	probs := make(map[string]float64, len(suf))
+	for _, s := range suf {
+		probs[s] = *trueP
+	}
+	cfg := dist.GenConfig{
 		N: *n, InternalPerProc: *events,
 		EvtMu: *evtMu, EvtSigma: *evtSig,
 		CommMu: *commMu, CommSigma: *commSig,
-		TrueProbs: dist.UniformTrueProbs(*trueP),
+		Topology: topology, Hub: *hub, Clusters: *clusters, CrossProb: *crossP,
+		Suffixes: suf, TrueProbs: probs,
 		PlantGoal: *plant, Seed: *seed,
-	})
+	}
+	if err := cfg.Check(); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+
+	// The streaming format writes events as they are generated: no
+	// materialized trace set, memory independent of -events.
+	if strings.EqualFold(filepath.Ext(*out), ".jsonl") {
+		sw, err := dist.CreateStream(*out, cfg.Props(), cfg.InitState())
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		if err := dist.GenerateStream(cfg, sw.Write); err != nil {
+			sw.Close()
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		if err := sw.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "streamed %d processes, %d events to %s\n", cfg.N, sw.Events(), *out)
+		return 0
+	}
+
+	ts := dist.Generate(cfg)
 	if err := ts.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen: generated trace invalid:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen: generated trace invalid:", err)
+		return 1
 	}
 	if *out == "" {
-		if err := ts.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+		if err := ts.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := ts.SaveFile(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
-	fmt.Printf("wrote %d processes, %d events to %s\n", ts.N(), ts.TotalEvents(), *out)
+	fmt.Fprintf(stdout, "wrote %d processes, %d events to %s\n", ts.N(), ts.TotalEvents(), *out)
+	return 0
 }

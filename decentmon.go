@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"decentmon/internal/automaton"
+	"decentmon/internal/central"
 	"decentmon/internal/core"
 	"decentmon/internal/dist"
 	"decentmon/internal/lattice"
@@ -60,6 +61,12 @@ type (
 	Event = dist.Event
 	// GenConfig parameterizes the case-study workload generator (§5.2).
 	GenConfig = dist.GenConfig
+	// Topology selects the workload's communication pattern.
+	Topology = dist.Topology
+	// EventSource iterates an execution's events in timestamp order.
+	EventSource = dist.EventSource
+	// PathResult is the outcome of a bounded-memory single-path run.
+	PathResult = central.PathResult
 	// RunResult is the outcome of a decentralized run.
 	RunResult = core.RunResult
 	// MonitorMetrics are one monitor's overhead counters.
@@ -75,6 +82,15 @@ const (
 	Top     = automaton.Top     // ⊤: every extension satisfies the property
 	Bottom  = automaton.Bottom  // ⊥: every extension violates it
 	Unknown = automaton.Unknown // ?: inconclusive
+)
+
+// The communication topologies of the workload generator.
+const (
+	TopoUniform   = dist.TopoUniform   // uniform random unicast (the paper's §5.1 workload)
+	TopoRing      = dist.TopoRing      // p sends to (p+1) mod n
+	TopoStar      = dist.TopoStar      // all traffic through a hub process
+	TopoBroadcast = dist.TopoBroadcast // every communication fans out to all peers
+	TopoClustered = dist.TopoClustered // partitioned clusters with optional cross traffic
 )
 
 // Spec is a compiled property: an LTL formula over a proposition space plus
@@ -154,6 +170,11 @@ func Generate(cfg GenConfig) *TraceSet { return dist.Generate(cfg) }
 // LoadTraces reads a trace set saved by (*TraceSet).SaveFile.
 func LoadTraces(path string) (*TraceSet, error) { return dist.LoadFile(path) }
 
+// StreamTraces opens a trace file as an event stream: ".jsonl" files are
+// read incrementally with memory independent of their length, the
+// materialized formats are loaded whole behind the same interface.
+func StreamTraces(path string) (EventSource, error) { return dist.StreamFile(path) }
+
 // RunningExample returns the paper's Fig. 2.1 two-process program, and
 // RunningExampleProperty its Fig. 2.3 property.
 func RunningExample() *TraceSet { return dist.RunningExample() }
@@ -208,6 +229,38 @@ func Run(spec *Spec, ts *TraceSet, opts ...RunOption) (*RunResult, error) {
 	return core.Run(cfg)
 }
 
+// RunStream is Run over an event stream (e.g. StreamTraces on a ".jsonl"
+// file): the decentralized monitors are fed incrementally as events are
+// read, never materializing the execution. Verdict sets equal Run's on the
+// equivalent trace set.
+func RunStream(spec *Spec, src EventSource, opts ...RunOption) (*RunResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("decentmon: nil event source")
+	}
+	if err := checkSpecProps(spec, src.Props()); err != nil {
+		return nil, err
+	}
+	cfg := core.RunConfig{Automaton: spec.mon}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.RunStream(src, cfg)
+}
+
+// RunBounded evaluates the property along the stream's physical-time
+// lattice path in O(n) memory — the verdict is always a member of the
+// oracle's verdict set, and arbitrarily long executions can be monitored
+// with a footprint independent of trace length.
+func RunBounded(spec *Spec, src EventSource) (*PathResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("decentmon: nil event source")
+	}
+	if err := checkSpecProps(spec, src.Props()); err != nil {
+		return nil, err
+	}
+	return central.RunPath(src, spec.mon)
+}
+
 // Oracle computes the exact verdict set over every path of the execution's
 // computation lattice (Chapter 3) — the ground truth that a sound and
 // complete decentralized run must reproduce.
@@ -225,18 +278,25 @@ func NewChanNetwork(n int) Network { return transport.NewChanNetwork(n) }
 func NewTCPNetwork(n int) (Network, error) { return transport.NewTCPNetwork(n) }
 
 func checkSpecTraces(spec *Spec, ts *TraceSet) error {
+	if ts == nil {
+		return fmt.Errorf("decentmon: nil trace set")
+	}
+	return checkSpecProps(spec, ts.Props)
+}
+
+func checkSpecProps(spec *Spec, pm *PropMap) error {
 	if spec == nil || spec.mon == nil {
 		return fmt.Errorf("decentmon: nil spec")
 	}
-	if ts == nil || ts.Props == nil {
-		return fmt.Errorf("decentmon: nil trace set")
+	if pm == nil {
+		return fmt.Errorf("decentmon: nil proposition map")
 	}
-	if len(spec.mon.Props) != ts.Props.Len() {
-		return fmt.Errorf("decentmon: spec has %d propositions, traces declare %d", len(spec.mon.Props), ts.Props.Len())
+	if len(spec.mon.Props) != pm.Len() {
+		return fmt.Errorf("decentmon: spec has %d propositions, traces declare %d", len(spec.mon.Props), pm.Len())
 	}
 	for i, p := range spec.mon.Props {
-		if ts.Props.Names[i] != p {
-			return fmt.Errorf("decentmon: proposition %d mismatch: %q vs %q", i, p, ts.Props.Names[i])
+		if pm.Names[i] != p {
+			return fmt.Errorf("decentmon: proposition %d mismatch: %q vs %q", i, p, pm.Names[i])
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package decentmon
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -156,5 +157,68 @@ func TestCustomPropSpace(t *testing.T) {
 	}
 	if spec2.Automaton().NumStates() < 2 {
 		t.Error("suspiciously small monitor for monitorable property")
+	}
+}
+
+func TestStreamingFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	cfg := GenConfig{
+		N: 3, InternalPerProc: 8, CommMu: 3, CommSigma: 1,
+		Topology: TopoRing, PlantGoal: true, Seed: 5,
+	}
+	ts := Generate(cfg)
+	if err := ts.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	spec := MustCompile("F (P0.p && P1.p && P2.p)", ts.Props)
+
+	want, err := Run(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := StreamTraces(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	got, err := RunStream(spec, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Verdicts) != len(want.Verdicts) {
+		t.Fatalf("streamed %v != materialized %v", got.VerdictList(), want.VerdictList())
+	}
+	for v := range want.Verdicts {
+		if !got.Verdicts[v] {
+			t.Fatalf("streamed %v != materialized %v", got.VerdictList(), want.VerdictList())
+		}
+	}
+
+	src2, err := StreamTraces(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	bounded, err := RunBounded(spec, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Verdict != Top {
+		t.Errorf("bounded path verdict %v, want T (goal planted)", bounded.Verdict)
+	}
+	if !want.Verdicts[bounded.Verdict] {
+		t.Errorf("bounded verdict %v outside the full run's set %v", bounded.Verdict, want.VerdictList())
+	}
+
+	// Spec/stream mismatch must be rejected up front.
+	wrong := MustCompile("F P0.p", PerProcessProps(2, "p", "q"))
+	src3, err := StreamTraces(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src3.Close()
+	if _, err := RunStream(wrong, src3); err == nil {
+		t.Error("mismatched stream accepted")
 	}
 }

@@ -12,6 +12,7 @@ package central
 
 import (
 	"fmt"
+	"io"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/dist"
@@ -233,30 +234,36 @@ func (m *Monitor) Finish() (*Result, error) {
 // Run replays a complete trace set through a centralized monitor in global
 // timestamp order (the arrival order at the central node).
 func Run(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
-	m := New(mon, ts.Props, ts.N(), ts.InitialState())
-	// Merge-feed events by recorded time, preserving per-process order.
-	idx := make([]int, ts.N())
+	return RunStream(ts.Stream(), mon)
+}
+
+// RunStream feeds an event stream (already in global timestamp order, the
+// arrival order at the central node) into a centralized monitor and
+// finishes it when the stream ends. The lattice expansion itself still
+// grows with the execution; for a truly memory-bounded streaming evaluation
+// see RunPath.
+func RunStream(src dist.EventSource, mon *automaton.Monitor) (*Result, error) {
+	n := src.N()
+	m := New(mon, src.Props(), n, src.Init())
+	counts := make([]int, n)
 	for {
-		best, bestTime := -1, 0.0
-		for p, tr := range ts.Traces {
-			if idx[p] >= len(tr.Events) {
-				continue
-			}
-			et := tr.Events[idx[p]].Time
-			if best == -1 || et < bestTime {
-				best, bestTime = p, et
-			}
-		}
-		if best == -1 {
+		e, err := src.Next()
+		if err == io.EOF {
 			break
 		}
-		if err := m.Feed(ts.Traces[best].Events[idx[best]]); err != nil {
+		if err != nil {
 			return nil, err
 		}
-		idx[best]++
+		if e.Proc < 0 || e.Proc >= n {
+			return nil, fmt.Errorf("central: stream event of nonexistent process %d", e.Proc)
+		}
+		if err := m.Feed(e); err != nil {
+			return nil, err
+		}
+		counts[e.Proc]++
 	}
-	for p, tr := range ts.Traces {
-		m.End(p, len(tr.Events))
+	for p := 0; p < n; p++ {
+		m.End(p, counts[p])
 	}
 	// A process may have terminated with nodes still waiting on its next
 	// (never-arriving) event; they are complete as-is.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -13,7 +14,8 @@ import (
 // RunConfig describes one decentralized monitoring run over a recorded
 // execution.
 type RunConfig struct {
-	// Traces is the execution to monitor.
+	// Traces is the execution to monitor (Run only; RunStream takes an
+	// event source instead).
 	Traces *dist.TraceSet
 	// Automaton is the LTL3 monitor replicated at every process.
 	Automaton *automaton.Monitor
@@ -74,7 +76,91 @@ func (r *RunResult) VerdictList() []automaton.Verdict {
 // and feeding them the generated trace files.
 func Run(cfg RunConfig) (*RunResult, error) {
 	ts := cfg.Traces
-	n := ts.N()
+	if ts == nil {
+		return nil, fmt.Errorf("core: no trace set (use RunStream for event sources)")
+	}
+	// Feed each monitor its process's events concurrently, optionally paced
+	// by the recorded timestamps — one feeder goroutine per device, as in a
+	// real deployment.
+	feed := func(monitors []*Monitor) error {
+		var feedWG sync.WaitGroup
+		for i, tr := range ts.Traces {
+			feedWG.Add(1)
+			go func(i int, tr *dist.Trace) {
+				defer feedWG.Done()
+				prev := 0.0
+				for _, e := range tr.Events {
+					pace(cfg.Pace, e.Time, &prev)
+					monitors[i].Deliver(e)
+				}
+				monitors[i].EndTrace(len(tr.Events))
+			}(i, tr)
+		}
+		feedWG.Wait()
+		return nil
+	}
+	return run(cfg, ts.Props, ts.N(), ts.InitialState(), feed)
+}
+
+// RunStream is Run over an event stream: events arrive in global timestamp
+// order from a single source (e.g. a dist.TraceReader over a ".jsonl" file)
+// and are dispatched to the owning process's monitor as they are read, so
+// the trace never needs to be materialized. Verdict sets are identical to
+// Run on the equivalent trace set. cfg.Traces is ignored.
+func RunStream(src dist.EventSource, cfg RunConfig) (*RunResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil event source")
+	}
+	n := src.N()
+	feed := func(monitors []*Monitor) error {
+		counts := make([]int, n)
+		prev := 0.0
+		var readErr error
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Stop feeding but still terminate every monitor with the
+				// contiguous prefix it has: the run can wind down cleanly
+				// and the read error is reported after the monitors drain.
+				readErr = err
+				break
+			}
+			if e.Proc < 0 || e.Proc >= n {
+				readErr = fmt.Errorf("core: stream event of nonexistent process %d", e.Proc)
+				break
+			}
+			pace(cfg.Pace, e.Time, &prev)
+			monitors[e.Proc].Deliver(e)
+			counts[e.Proc]++
+		}
+		for p, m := range monitors {
+			m.EndTrace(counts[p])
+		}
+		return readErr
+	}
+	return run(cfg, src.Props(), n, src.Init(), feed)
+}
+
+// pace sleeps the scaled gap between the previous and current simulated
+// timestamps (no-op when factor <= 0).
+func pace(factor, at float64, prev *float64) {
+	if factor <= 0 {
+		return
+	}
+	d := time.Duration((at - *prev) * factor * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+	*prev = at
+}
+
+// run wires up n monitors on the network, executes the feeder, and collects
+// the union verdict set plus overhead metrics — the machinery shared by the
+// materialized and streaming entry points.
+func run(cfg RunConfig, pm *dist.PropMap, n int, init dist.GlobalState, feed func([]*Monitor) error) (*RunResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty trace set")
 	}
@@ -97,8 +183,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			Index:        i,
 			N:            n,
 			Automaton:    cfg.Automaton,
-			Props:        ts.Props,
-			Init:         ts.InitialState(),
+			Props:        pm,
+			Init:         init,
 			Mode:         cfg.Mode,
 			FinalizeFull: !cfg.SkipFinalize,
 			MaxBoxNodes:  cfg.MaxBoxNodes,
@@ -122,32 +208,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}(i, m)
 	}
 
-	// Feed each monitor its process's events, optionally paced by the
-	// recorded timestamps.
-	var feedWG sync.WaitGroup
-	for i, tr := range ts.Traces {
-		feedWG.Add(1)
-		go func(i int, tr *dist.Trace) {
-			defer feedWG.Done()
-			prev := 0.0
-			for _, e := range tr.Events {
-				if cfg.Pace > 0 {
-					d := time.Duration((e.Time - prev) * cfg.Pace * float64(time.Second))
-					if d > 0 {
-						time.Sleep(d)
-					}
-					prev = e.Time
-				}
-				monitors[i].Deliver(e)
-			}
-			monitors[i].EndTrace(len(tr.Events))
-		}(i, tr)
-	}
-	feedWG.Wait()
+	feedErr := feed(monitors)
 	programWall := time.Since(start)
 	wg.Wait()
 	wall := time.Since(start)
 
+	if feedErr != nil {
+		return nil, fmt.Errorf("core: feeding monitors: %w", feedErr)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: monitor %d failed: %w", i, err)

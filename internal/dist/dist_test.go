@@ -33,9 +33,9 @@ func TestLetterEncoding(t *testing.T) {
 		want uint32
 	}{
 		{GlobalState{0, 0}, 0b0000},
-		{GlobalState{0b01, 0}, 0b0001},  // P0.p
-		{GlobalState{0b10, 0}, 0b0010},  // P0.q
-		{GlobalState{0, 0b11}, 0b1100},  // P1.p, P1.q
+		{GlobalState{0b01, 0}, 0b0001}, // P0.p
+		{GlobalState{0b10, 0}, 0b0010}, // P0.q
+		{GlobalState{0, 0b11}, 0b1100}, // P1.p, P1.q
 		{GlobalState{0b11, 0b01}, 0b0111},
 	}
 	for _, c := range cases {
@@ -60,7 +60,7 @@ func TestPropMapAddErrors(t *testing.T) {
 		t.Error("negative owner accepted")
 	}
 	full := NewPropMap()
-	for i := 0; i < maxProps; i++ {
+	for i := 0; i < MaxProps; i++ {
 		full.MustAdd(string(rune('a'+i%26))+string(rune('a'+i/26)), i)
 	}
 	if err := full.Add("overflow", 0); err == nil {

@@ -205,6 +205,11 @@ func (ts *TraceSet) Validate() error {
 			if e.Proc != p {
 				return fmt.Errorf("dist: %s owned by process %d", where, e.Proc)
 			}
+			switch e.Type {
+			case Internal, Send, Recv:
+			default:
+				return fmt.Errorf("dist: %s has unknown type %d", where, int(e.Type))
+			}
 			if e.SN != k+1 {
 				return fmt.Errorf("dist: %s has sequence number %d", where, e.SN)
 			}

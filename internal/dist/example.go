@@ -23,8 +23,8 @@ func RunningExample() *TraceSet {
 
 	p0 := &Trace{Proc: 0, Init: 0, Events: []*Event{
 		{Proc: 0, SN: 1, Type: Send, Peer: 1, MsgID: 1, State: 0, VC: vclock.VC{1, 0}, Time: 1},
-		{Proc: 0, SN: 2, Type: Internal, Peer: -1, State: 0b01, VC: vclock.VC{2, 0}, Time: 2},   // x1=5
-		{Proc: 0, SN: 3, Type: Internal, Peer: -1, State: 0b11, VC: vclock.VC{3, 0}, Time: 3},   // x1=10
+		{Proc: 0, SN: 2, Type: Internal, Peer: -1, State: 0b01, VC: vclock.VC{2, 0}, Time: 2}, // x1=5
+		{Proc: 0, SN: 3, Type: Internal, Peer: -1, State: 0b11, VC: vclock.VC{3, 0}, Time: 3}, // x1=10
 		{Proc: 0, SN: 4, Type: Recv, Peer: 1, MsgID: 2, State: 0b11, VC: vclock.VC{4, 4}, Time: 6},
 	}}
 	p1 := &Trace{Proc: 1, Init: 0, Events: []*Event{

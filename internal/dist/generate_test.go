@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -179,5 +181,234 @@ func TestGenerateEmpty(t *testing.T) {
 	}
 	if ts.Props == nil || ts.Props.Len() != 0 {
 		t.Error("zero config must still carry an (empty) proposition map")
+	}
+}
+
+// --- communication topologies ---
+
+// sendPairs collects every (from, to) send pair of the execution.
+func sendPairs(ts *TraceSet) [][2]int {
+	var out [][2]int
+	for _, tr := range ts.Traces {
+		for _, e := range tr.Events {
+			if e.Type == Send {
+				out = append(out, [2]int{e.Proc, e.Peer})
+			}
+		}
+	}
+	return out
+}
+
+func topoCfg(topo Topology, n int) GenConfig {
+	return GenConfig{
+		N: n, InternalPerProc: 6,
+		CommMu: 2, CommSigma: 0.5,
+		Topology: topo, Seed: 17,
+	}
+}
+
+func TestTopologyRing(t *testing.T) {
+	n := 7
+	ts := Generate(topoCfg(TopoRing, n))
+	checkComputation(t, ts)
+	pairs := sendPairs(ts)
+	if len(pairs) == 0 {
+		t.Fatal("ring execution has no sends")
+	}
+	for _, pr := range pairs {
+		if pr[1] != (pr[0]+1)%n {
+			t.Errorf("ring send %d -> %d, want successor %d", pr[0], pr[1], (pr[0]+1)%n)
+		}
+	}
+}
+
+func TestTopologyStar(t *testing.T) {
+	cfg := topoCfg(TopoStar, 6)
+	cfg.Hub = 2
+	ts := Generate(cfg)
+	checkComputation(t, ts)
+	pairs := sendPairs(ts)
+	if len(pairs) == 0 {
+		t.Fatal("star execution has no sends")
+	}
+	for _, pr := range pairs {
+		if pr[0] != cfg.Hub && pr[1] != cfg.Hub {
+			t.Errorf("star send %d -> %d bypasses hub %d", pr[0], pr[1], cfg.Hub)
+		}
+		if pr[0] == cfg.Hub && pr[1] == cfg.Hub {
+			t.Errorf("hub sends to itself")
+		}
+	}
+}
+
+func TestTopologyBroadcast(t *testing.T) {
+	n := 5
+	ts := Generate(topoCfg(TopoBroadcast, n))
+	checkComputation(t, ts)
+	// Every broadcast burst sends to all n-1 peers, so per-process send
+	// counts must be multiples of n-1 covering every destination equally.
+	for p, tr := range ts.Traces {
+		perDst := map[int]int{}
+		sends := 0
+		for _, e := range tr.Events {
+			if e.Type == Send {
+				sends++
+				perDst[e.Peer]++
+			}
+		}
+		if sends == 0 {
+			continue
+		}
+		if sends%(n-1) != 0 {
+			t.Errorf("process %d made %d sends, not a multiple of %d", p, sends, n-1)
+		}
+		for d, c := range perDst {
+			if c != sends/(n-1) {
+				t.Errorf("process %d sent %d times to %d, want %d", p, c, d, sends/(n-1))
+			}
+		}
+	}
+}
+
+func TestTopologyClusteredPartitioned(t *testing.T) {
+	cfg := topoCfg(TopoClustered, 8)
+	cfg.Clusters = 2 // processes 0..3 and 4..7
+	ts := Generate(cfg)
+	checkComputation(t, ts)
+	pairs := sendPairs(ts)
+	if len(pairs) == 0 {
+		t.Fatal("clustered execution has no sends")
+	}
+	for _, pr := range pairs {
+		if (pr[0] < 4) != (pr[1] < 4) {
+			t.Errorf("partitioned send %d -> %d crosses clusters", pr[0], pr[1])
+		}
+	}
+}
+
+func TestTopologyClusteredCrossTraffic(t *testing.T) {
+	cfg := topoCfg(TopoClustered, 8)
+	cfg.Clusters = 2
+	cfg.CrossProb = 0.5
+	cfg.InternalPerProc = 20
+	ts := Generate(cfg)
+	checkComputation(t, ts)
+	cross := 0
+	for _, pr := range sendPairs(ts) {
+		if (pr[0] < 4) != (pr[1] < 4) {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Error("CrossProb=0.5 produced no cross-cluster traffic")
+	}
+}
+
+func TestTopologiesValidUpTo32(t *testing.T) {
+	// The full ceiling: 32 processes with a single proposition suffix.
+	for _, topo := range Topologies {
+		cfg := GenConfig{
+			N: 32, InternalPerProc: 3,
+			CommMu: 2, CommSigma: 0.5,
+			Topology: topo, Suffixes: []string{"p"},
+			Seed: 23,
+		}
+		if topo == TopoClustered {
+			cfg.Clusters = 4
+			cfg.CrossProb = 0.1
+		}
+		ts := Generate(cfg)
+		if ts.N() != 32 || ts.Props.Len() != 32 {
+			t.Fatalf("%v: %d processes / %d props", topo, ts.N(), ts.Props.Len())
+		}
+		checkComputation(t, ts)
+	}
+}
+
+func TestTopologySeedDeterminism(t *testing.T) {
+	for _, topo := range Topologies {
+		cfg := topoCfg(topo, 6)
+		cfg.Clusters = 3
+		cfg.CrossProb = 0.2
+		a, b := Generate(cfg), Generate(cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed produced different executions", topo)
+		}
+		cfg.Seed++
+		if reflect.DeepEqual(a, Generate(cfg)) {
+			t.Errorf("%v: different seeds produced identical executions", topo)
+		}
+	}
+}
+
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	for _, topo := range Topologies {
+		cfg := topoCfg(topo, 5)
+		want := Generate(cfg)
+		got := &TraceSet{Props: cfg.Props()}
+		init := cfg.InitState()
+		for p := 0; p < cfg.N; p++ {
+			got.Traces = append(got.Traces, &Trace{Proc: p, Init: init[p]})
+		}
+		prev := -1.0
+		if err := GenerateStream(cfg, func(e *Event) error {
+			if e.Time <= prev {
+				t.Fatalf("%v: stream time %v not after %v", topo, e.Time, prev)
+			}
+			prev = e.Time
+			got.Traces[e.Proc].Events = append(got.Traces[e.Proc].Events, e)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%v: GenerateStream and Generate disagree", topo)
+		}
+	}
+}
+
+func TestGenerateStreamRejectsOversizedConfig(t *testing.T) {
+	err := GenerateStream(GenConfig{N: 20, InternalPerProc: 1}, func(*Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "propositions exceed") {
+		t.Errorf("20×2 propositions accepted: %v", err)
+	}
+	if err := GenerateStream(GenConfig{N: 20, InternalPerProc: 1, Suffixes: []string{"p"}},
+		func(*Event) error { return nil }); err != nil {
+		t.Errorf("20 single-suffix processes rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsBadSuffixes(t *testing.T) {
+	if err := (GenConfig{N: 2, Suffixes: []string{"p", "p"}}).Check(); err == nil {
+		t.Error("duplicate suffix accepted")
+	}
+	if err := (GenConfig{N: 2, Suffixes: []string{""}}).Check(); err == nil {
+		t.Error("empty suffix accepted")
+	}
+}
+
+func TestGeneratePanicsWithDescriptiveError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversized config did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "exceed the 32-proposition space") {
+			t.Errorf("panic %v lacks Check's message", r)
+		}
+	}()
+	Generate(GenConfig{N: 20, InternalPerProc: 1})
+}
+
+func TestClusteredSingleClusterNeverCrosses(t *testing.T) {
+	// One cluster spanning every process has nowhere to cross to; the
+	// cross-probability must be ignored rather than panic.
+	cfg := topoCfg(TopoClustered, 4)
+	cfg.Clusters = 1
+	cfg.CrossProb = 0.9
+	ts := Generate(cfg)
+	checkComputation(t, ts)
+	if len(sendPairs(ts)) == 0 {
+		t.Error("single-cluster execution has no sends")
 	}
 }

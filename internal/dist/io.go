@@ -146,12 +146,30 @@ func ReadJSON(r io.Reader) (*TraceSet, error) {
 }
 
 // SaveFile writes the trace set to path: gob encoding for a ".gob"
-// extension, the JSON trace format otherwise.
+// extension, the streaming line format for ".jsonl" (see stream.go), the
+// JSON trace format otherwise.
 func (ts *TraceSet) SaveFile(path string) error {
 	// Validate and serialize before touching the destination so a bad trace
 	// set cannot truncate an existing good file.
 	if err := ts.Validate(); err != nil {
 		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+		// Like the wire-form serialization below, prove the set streamable
+		// before touching the destination.
+		if err := ts.checkLinearizable(); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// The set was already validated above.
+		if err := ts.writeJSONL(f); err != nil {
+			return fmt.Errorf("dist: encoding %s: %w", path, err)
+		}
+		return f.Close()
 	}
 	wire, err := ts.wire()
 	if err != nil {
@@ -182,6 +200,16 @@ func LoadFile(path string) (*TraceSet, error) {
 	}
 	defer f.Close()
 	var ts *TraceSet
+	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+		tr, err := OpenStream(f)
+		if err == nil {
+			ts, err = Materialize(tr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ts, nil
+	}
 	if strings.EqualFold(filepath.Ext(path), ".gob") {
 		var wire jsonTraceSet
 		if err := gob.NewDecoder(f).Decode(&wire); err != nil {

@@ -2,10 +2,11 @@ package dist
 
 import "fmt"
 
-// maxProps bounds the proposition count: monitor letters are uint32 bitmasks
+// MaxProps bounds the proposition count: monitor letters are uint32 bitmasks
 // (bit i ↔ proposition i), and LocalState packs each process's propositions
-// into a uint32 too.
-const maxProps = 32
+// into a uint32 too. With k propositions per process, at most MaxProps/k
+// processes fit (16 with the default two suffixes, 32 with one).
+const MaxProps = 32
 
 // PropMap is the proposition space of a property: an ordered list of atomic
 // propositions, each owned by exactly one process. The order defines the
@@ -36,8 +37,8 @@ func (pm *PropMap) Add(name string, owner int) error {
 	if owner < 0 {
 		return fmt.Errorf("dist: proposition %q has negative owner %d", name, owner)
 	}
-	if len(pm.Names) >= maxProps {
-		return fmt.Errorf("dist: proposition space full (%d propositions)", maxProps)
+	if len(pm.Names) >= MaxProps {
+		return fmt.Errorf("dist: proposition space full (%d propositions)", MaxProps)
 	}
 	bit := 0
 	for i, n := range pm.Names {

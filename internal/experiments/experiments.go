@@ -28,6 +28,12 @@ type Config struct {
 	EvtMu, EvtSigma float64 // seconds (paper: 3, 1)
 	CommMu          float64 // seconds (paper: 3; <=0 disables)
 	CommSigma       float64
+	// Topology shapes the communication pattern (default dist.TopoUniform,
+	// the paper's workload); Clusters/CrossProb parameterize
+	// dist.TopoClustered.
+	Topology  dist.Topology
+	Clusters  int
+	CrossProb float64
 	// MinimalAutomata uses the minimal LTL3 monitors instead of the
 	// paper-shape (progression) machines. The paper's figures depend on the
 	// intermediate ?-states of its non-minimal automata, so paper shape is
@@ -224,6 +230,7 @@ func genConfig(property string, n int, seed int64, cfg Config) dist.GenConfig {
 		N: n, InternalPerProc: cfg.InternalPerProc,
 		EvtMu: cfg.EvtMu, EvtSigma: cfg.EvtSigma,
 		CommMu: cfg.CommMu, CommSigma: cfg.CommSigma,
+		Topology: cfg.Topology, Clusters: cfg.Clusters, CrossProb: cfg.CrossProb,
 		PlantGoal: true,
 		Seed:      seed,
 	}
@@ -288,6 +295,38 @@ func CommFrequency(cfg Config) ([]*CommFreqCell, error) {
 			return nil, err
 		}
 		out = append(out, &CommFreqCell{Label: label, Cell: *cell})
+	}
+	return out, nil
+}
+
+// --- topology ablation ---
+
+// TopologyCell is one row of the communication-topology sweep: the same
+// property and process count measured under a different communication
+// pattern. It extends the paper's Fig. 5.9 frequency sweep into the shape
+// dimension — rings, hubs, broadcast storms and partitioned clusters stress
+// the token routing and causal-gap fetching very differently.
+type TopologyCell struct {
+	Topology string
+	Cell
+}
+
+// Topologies measures one property at one size under each topology (all of
+// dist.Topologies when none are given).
+func Topologies(property string, n int, cfg Config, topos ...dist.Topology) ([]*TopologyCell, error) {
+	cfg = cfg.withDefaults()
+	if len(topos) == 0 {
+		topos = dist.Topologies
+	}
+	var out []*TopologyCell
+	for _, topo := range topos {
+		c := cfg
+		c.Topology = topo
+		cell, err := Measure(property, n, c)
+		if err != nil {
+			return nil, fmt.Errorf("topology %v: %w", topo, err)
+		}
+		out = append(out, &TopologyCell{Topology: topo.String(), Cell: *cell})
 	}
 	return out, nil
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"decentmon/internal/dist"
 )
 
 var quick = Config{
@@ -153,5 +155,41 @@ func TestDefaults(t *testing.T) {
 	}
 	if Log10(0) != 0 || Log10(100) != 2 {
 		t.Error("Log10 helper wrong")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	cells, err := Topologies("B", 3, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(dist.Topologies) {
+		t.Fatalf("%d topology cells, want %d", len(cells), len(dist.Topologies))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.Topology] = true
+		if c.Events <= 0 {
+			t.Errorf("%s: no events", c.Topology)
+		}
+	}
+	for _, want := range []string{"uniform", "ring", "star", "broadcast", "clustered"} {
+		if !names[want] {
+			t.Errorf("missing topology %s", want)
+		}
+	}
+	// Broadcast bursts fan every communication out to n-1 peers, so the
+	// program event count must exceed the unicast shapes'.
+	var uni, bcast float64
+	for _, c := range cells {
+		switch c.Topology {
+		case "uniform":
+			uni = c.Events
+		case "broadcast":
+			bcast = c.Events
+		}
+	}
+	if bcast <= uni {
+		t.Errorf("broadcast events %.0f not above uniform %.0f", bcast, uni)
 	}
 }
