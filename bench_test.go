@@ -470,34 +470,42 @@ func BenchmarkTopologySweep(b *testing.B) {
 
 // --- streaming pipeline ---
 
-// streamBuf renders a generated execution in the streaming (.jsonl) format
-// once, for the reader-side benchmarks.
-func streamBuf(b *testing.B, cfg dist.GenConfig) []byte {
+// streamBuf renders a generated execution through the given codec once, for
+// the reader-side benchmarks.
+func streamBuf(b *testing.B, codec dist.Codec, cfg dist.GenConfig) []byte {
 	b.Helper()
 	var buf bytes.Buffer
-	if err := dist.Generate(cfg).WriteJSONL(&buf); err != nil {
+	if err := dist.Generate(cfg).WriteStream(codec, &buf); err != nil {
 		b.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
-// BenchmarkStreamingReader measures the chunked validating reader: decode +
-// incremental validation of a ~29k-event stream.
-func BenchmarkStreamingReader(b *testing.B) {
-	data := streamBuf(b, dist.GenConfig{
-		N: 4, InternalPerProc: 5000, CommMu: 3, CommSigma: 1, Seed: 1,
-	})
+// benchReaderCfg is the ~29k-event execution decoded by the codec
+// benchmarks; identical for both codecs so events/s compare directly.
+var benchReaderCfg = dist.GenConfig{
+	N: 4, InternalPerProc: 5000, CommMu: 3, CommSigma: 1, Seed: 1,
+}
+
+// benchStreamingReader measures one codec's reader — decode + incremental
+// validation — reporting MB/s (via SetBytes) and events/s.
+func benchStreamingReader(b *testing.B, codecName string) {
+	codec, err := dist.CodecByName(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := streamBuf(b, codec, benchReaderCfg)
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	events := 0
 	for i := 0; i < b.N; i++ {
-		tr, err := dist.OpenStream(bytes.NewReader(data))
+		src, err := codec.Open(bytes.NewReader(data))
 		if err != nil {
 			b.Fatal(err)
 		}
 		events = 0
 		for {
-			_, err := tr.Next()
+			_, err := src.Next()
 			if err == io.EOF {
 				break
 			}
@@ -508,7 +516,69 @@ func BenchmarkStreamingReader(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(events), "events")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)*float64(b.N)/s, "events/s")
+	}
 }
+
+// BenchmarkStreamingReader measures the JSON-lines validating reader.
+func BenchmarkStreamingReader(b *testing.B) { benchStreamingReader(b, "jsonl") }
+
+// BenchmarkBinaryStreamingReader measures the ".dmtb" binary reader over
+// the same execution; the events/s ratio against BenchmarkStreamingReader
+// is the codec speedup the streaming pipeline gains end to end.
+func BenchmarkBinaryStreamingReader(b *testing.B) { benchStreamingReader(b, "dmtb") }
+
+// benchStreamWriter measures one codec's writer alone — header + records
+// into memory, no disk and no per-iteration re-validation (the set is
+// validated once during setup, like SaveFile does) — reporting MB/s of
+// output produced.
+func benchStreamWriter(b *testing.B, codecName string) {
+	codec, err := dist.CodecByName(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := dist.Generate(benchReaderCfg)
+	if err := ts.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	var size bytes.Buffer
+	if err := ts.WriteStream(codec, &size); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(size.Len())
+		sink, err := codec.Create(&buf, ts.Props, ts.InitialState())
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := ts.Stream()
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.Write(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamWriter measures the JSON-lines stream writer.
+func BenchmarkStreamWriter(b *testing.B) { benchStreamWriter(b, "jsonl") }
+
+// BenchmarkBinaryStreamWriter measures the ".dmtb" binary stream writer.
+func BenchmarkBinaryStreamWriter(b *testing.B) { benchStreamWriter(b, "dmtb") }
 
 // BenchmarkPathMonitor measures the bounded-memory single-path evaluator
 // (dlmon's -bounded mode) over a ~29k-event execution.
@@ -533,7 +603,8 @@ func BenchmarkPathMonitor(b *testing.B) {
 }
 
 // BenchmarkStreamedDecentralizedRun measures one full decentralized run fed
-// from the streaming path (compare BenchmarkDecentralizedRun).
+// from the streaming path (compare BenchmarkDecentralizedRun), reporting
+// the knowledge-GC metrics of the run.
 func BenchmarkStreamedDecentralizedRun(b *testing.B) {
 	ts := dist.Generate(dist.GenConfig{
 		N: 4, InternalPerProc: 10, CommMu: 3, CommSigma: 1, PlantGoal: true, Seed: 1,
@@ -543,11 +614,22 @@ func BenchmarkStreamedDecentralizedRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	peak, collected := 0, 0
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunStream(ts.Stream(), core.RunConfig{Automaton: mon}); err != nil {
+		res, err := core.RunStream(ts.Stream(), core.RunConfig{Automaton: mon})
+		if err != nil {
 			b.Fatal(err)
 		}
+		peak, collected = 0, 0
+		for _, m := range res.Metrics {
+			if m.KnowledgePeak > peak {
+				peak = m.KnowledgePeak
+			}
+			collected += m.KnowledgeCollected
+		}
 	}
+	b.ReportMetric(float64(peak), "know-peak")
+	b.ReportMetric(float64(collected), "know-collected")
 }
 
 // BenchmarkAugmentedTimeOracle measures the §7.2.1 future-work extension:

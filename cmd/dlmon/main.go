@@ -5,25 +5,26 @@
 //
 // Trace files are consumed either materialized (the default for .json/.gob)
 // or as a stream: -stream feeds the decentralized monitors incrementally
-// from the reader without materializing the trace, and -bounded evaluates
-// the physical-time lattice path in O(n) memory — with a ".jsonl" trace the
-// whole pipeline's footprint is then independent of trace length, so
-// multi-million-event executions can be monitored on a laptop.
+// from the reader without materializing the trace (garbage-collecting each
+// monitor's knowledge below the global minimal cut as it goes), and
+// -bounded evaluates the physical-time lattice path in O(n) memory — with a
+// streaming trace (".jsonl", or the faster binary ".dmtb") the pipeline's
+// footprint is then independent of trace length, so multi-million-event
+// executions can be monitored on a laptop.
 //
 // Usage:
 //
 //	tracegen -n 3 -events 10 -plant -o t.gob
 //	dlmon -trace t.gob 'F (P0.p && P1.p && P2.p)'
 //	dlmon -trace t.gob -case B -tcp -compare
-//	tracegen -n 8 -events 200000 -topo ring -o big.jsonl
-//	dlmon -trace big.jsonl -bounded -case B
+//	tracegen -n 8 -events 200000 -topo ring -o big.dmtb
+//	dlmon -trace big.dmtb -bounded -case B
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"decentmon/internal/automaton"
@@ -38,11 +39,11 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "trace set file (.json, .jsonl or .gob) from tracegen")
+		tracePath = flag.String("trace", "", "trace set file (.json, .jsonl, .dmtb or .gob) from tracegen")
 		caseProp  = flag.String("case", "", "use a case-study property A..F instead of a formula argument")
 		shape     = flag.String("shape", "minimal", "automaton construction: minimal or paper")
-		stream    = flag.Bool("stream", false, "feed the monitors from the streaming reader instead of materializing the trace")
-		bounded   = flag.Bool("bounded", false, "stream the physical-time lattice path in bounded memory (implies -stream)")
+		stream    = flag.Bool("stream", false, "feed the monitors from the streaming reader instead of materializing the trace (a .json/.gob trace is still loaded whole first; use .jsonl/.dmtb for bounded memory)")
+		bounded   = flag.Bool("bounded", false, "stream the physical-time lattice path in bounded memory (implies -stream; same .json/.gob caveat)")
 		tcp       = flag.Bool("tcp", false, "run monitors over loopback TCP instead of in-memory channels")
 		replic    = flag.Bool("replicated", false, "use the replicated-broadcast baseline mode")
 		noFin     = flag.Bool("nofinalize", false, "skip extending views to the final cut")
@@ -75,6 +76,10 @@ func main() {
 		err error
 	)
 	if *stream || *bounded {
+		if !dist.IsStreamingPath(*tracePath) {
+			fmt.Fprintf(os.Stderr, "dlmon: note: %s is not a streaming format; the trace is loaded whole before streaming (write %s for memory independent of trace length)\n",
+				*tracePath, strings.Join(streamingExts(), " or "))
+		}
 		src, err = dist.StreamFile(*tracePath)
 		if err != nil {
 			fatal(err)
@@ -120,11 +125,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// Only a .jsonl input actually streams; the other formats are
+		// Only a streaming input actually streams; the other formats are
 		// materialized behind the same interface, so say so.
 		how := "streamed, bounded memory"
-		if !strings.EqualFold(filepath.Ext(*tracePath), ".jsonl") {
-			how = "materialized input; use .jsonl for bounded memory"
+		if !dist.IsStreamingPath(*tracePath) {
+			how = "materialized input; use " + strings.Join(streamingExts(), " or ") + " for bounded memory"
 		}
 		fmt.Printf("property       : %s\n", formula)
 		fmt.Printf("processes      : %d, events: %d (%s)\n", n, res.Events, how)
@@ -177,12 +182,18 @@ func main() {
 		fmt.Printf("first verdict  : after %v\n", res.FirstConclusive)
 	}
 	gv, searches, hops := 0, 0, 0
+	peak, collected := 0, 0
 	for _, m := range res.Metrics {
 		gv += m.GlobalViewsCreated
 		searches += m.SearchesLaunched
 		hops += m.TokenHops
+		if m.KnowledgePeak > peak {
+			peak = m.KnowledgePeak
+		}
+		collected += m.KnowledgeCollected
 	}
 	fmt.Printf("global views   : %d, searches: %d, token hops: %d\n", gv, searches, hops)
+	fmt.Printf("knowledge      : peak %d events/monitor, %d collected\n", peak, collected)
 
 	if *compare {
 		oracle, err := lattice.Evaluate(ts, mon)
@@ -203,6 +214,15 @@ func main() {
 		}
 		fmt.Printf("sound+complete : %v\n", match)
 	}
+}
+
+// streamingExts lists the registered streaming extensions, for messages.
+func streamingExts() []string {
+	var out []string
+	for _, c := range dist.Codecs() {
+		out = append(out, c.Ext())
+	}
+	return out
 }
 
 func fatal(err error) {

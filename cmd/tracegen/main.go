@@ -2,15 +2,19 @@
 // event sequences with normally distributed wait times between valuation
 // changes (Evtµ/Evtσ) and communication bursts (Commµ/Commσ), vector clocks
 // included. The -topo flag selects the communication topology (uniform
-// random unicast, ring, star, broadcast bursts, or partitioned clusters),
-// and a ".jsonl" output is written through the streaming pipeline, so
-// multi-million-event traces generate in memory independent of their length.
+// random unicast, ring, star, broadcast bursts, or partitioned clusters).
+// A streaming output (".jsonl", or the binary ".dmtb" — selected by
+// extension or forced with -format) is written through the streaming
+// pipeline, so multi-million-event traces generate in memory independent of
+// their length; ".dmtb" additionally decodes about an order of magnitude
+// faster than JSON on the monitoring side.
 //
 // Usage:
 //
 //	tracegen -n 4 -events 20 -commmu 3 -seed 7 -o trace.json
 //	tracegen -n 5 -events 50 -plant -o trace.gob
-//	tracegen -n 32 -suffixes p -topo ring -events 1000000 -o trace.jsonl
+//	tracegen -n 32 -suffixes p -topo ring -events 1000000 -o trace.dmtb
+//	tracegen -n 8 -events 200000 -format dmtb -o trace.bin
 //	tracegen -n 12 -topo clustered -clusters 3 -crossprob 0.05 -o trace.jsonl
 package main
 
@@ -46,7 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trueP    = fs.Float64("truep", 0.5, "probability a proposition is true after an internal event")
 		plant    = fs.Bool("plant", false, "force all propositions true at each process's final internal event")
 		seed     = fs.Int64("seed", 1, "random seed")
-		out      = fs.String("o", "", "output file (.json, .jsonl or .gob); stdout JSON if empty")
+		out      = fs.String("o", "", "output file (.json, .jsonl, .dmtb or .gob); stdout JSON if empty")
+		format   = fs.String("format", "", "force a streaming codec ("+strings.Join(dist.CodecNames(), " or ")+") regardless of the output extension")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -95,10 +100,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// The streaming format writes events as they are generated: no
-	// materialized trace set, memory independent of -events.
-	if strings.EqualFold(filepath.Ext(*out), ".jsonl") {
-		sw, err := dist.CreateStream(*out, cfg.Props(), cfg.InitState())
+	// The streaming formats write events as they are generated: no
+	// materialized trace set, memory independent of -events. The codec is
+	// chosen by the output extension, or forced by -format.
+	codec, streaming := dist.CodecForPath(*out)
+	if *format != "" {
+		c, err := dist.CodecByName(*format)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
+		}
+		if *out == "" {
+			fmt.Fprintln(stderr, "tracegen: -format needs an output file (-o)")
+			return 2
+		}
+		if streaming && c != codec {
+			fmt.Fprintf(stderr, "tracegen: -format %s contradicts the %s extension of %s\n", c.Name(), codec.Ext(), *out)
+			return 2
+		}
+		// A materialized extension is just as contradictory: every reader
+		// selects its decoder by extension, so stream bytes under .json or
+		// .gob would produce a file nothing can open.
+		if ext := strings.ToLower(filepath.Ext(*out)); ext == ".json" || ext == ".gob" {
+			fmt.Fprintf(stderr, "tracegen: -format %s contradicts the materialized %s extension of %s\n", c.Name(), ext, *out)
+			return 2
+		}
+		codec, streaming = c, true
+	}
+	if streaming {
+		sw, err := dist.CreateStreamCodec(codec, *out, cfg.Props(), cfg.InitState())
 		if err != nil {
 			fmt.Fprintln(stderr, "tracegen:", err)
 			return 1
@@ -112,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tracegen:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "streamed %d processes, %d events to %s\n", cfg.N, sw.Events(), *out)
+		fmt.Fprintf(stdout, "streamed %d processes, %d events to %s (%s)\n", cfg.N, sw.Events(), *out, codec.Name())
 		return 0
 	}
 

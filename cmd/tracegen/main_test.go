@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -66,8 +68,71 @@ func TestUnknownTopologyRejected(t *testing.T) {
 	}
 }
 
+func TestFormatFlag(t *testing.T) {
+	dir := t.TempDir()
+	// -format forces a codec on an unrecognized extension.
+	binPath := filepath.Join(dir, "t.bin")
+	code, stdout, stderr := runCLI(t,
+		"-n", "3", "-events", "5", "-seed", "9", "-format", "dmtb", "-o", binPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "(dmtb)") {
+		t.Errorf("stdout %q does not name the codec", stdout)
+	}
+	// The .bin extension is not self-describing, so open with the codec.
+	codec, err := dist.CodecByName("dmtb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src, err := codec.Open(f)
+	if err != nil {
+		t.Fatalf("opening forced-format output: %v", err)
+	}
+	events := 0
+	for {
+		if _, err := src.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		events++
+	}
+	if events == 0 {
+		t.Error("forced-format output holds no events")
+	}
+
+	// A matching extension is fine; a contradicting one is rejected.
+	if code, _, _ := runCLI(t, "-n", "3", "-events", "2", "-format", "jsonl", "-o", filepath.Join(dir, "t.jsonl")); code != 0 {
+		t.Errorf("matching -format rejected: exit %d", code)
+	}
+	if code, _, stderr := runCLI(t, "-n", "3", "-events", "2", "-format", "dmtb", "-o", filepath.Join(dir, "u.jsonl")); code != 2 || !strings.Contains(stderr, "contradicts") {
+		t.Errorf("contradicting -format accepted: exit %d stderr %q", code, stderr)
+	}
+	// So is a materialized extension: readers dispatch by extension, so
+	// stream bytes under .json/.gob would be unreadable.
+	for _, name := range []string{"u.json", "u.gob"} {
+		if code, _, stderr := runCLI(t, "-n", "3", "-events", "2", "-format", "dmtb", "-o", filepath.Join(dir, name)); code != 2 || !strings.Contains(stderr, "contradicts") {
+			t.Errorf("%s: -format onto materialized extension accepted: exit %d stderr %q", name, code, stderr)
+		}
+	}
+	// Unknown codec and missing -o are usage errors.
+	if code, _, stderr := runCLI(t, "-n", "3", "-format", "protobuf", "-o", filepath.Join(dir, "x.bin")); code != 2 || !strings.Contains(stderr, "unknown codec") {
+		t.Errorf("unknown -format: exit %d stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-n", "3", "-format", "dmtb"); code != 2 || !strings.Contains(stderr, "-o") {
+		t.Errorf("-format without -o: exit %d stderr %q", code, stderr)
+	}
+}
+
 func TestGeneratedFileRoundTrips(t *testing.T) {
-	for _, name := range []string{"t.json", "t.gob", "t.jsonl"} {
+	for _, name := range []string{"t.json", "t.gob", "t.jsonl", "t.dmtb"} {
 		path := filepath.Join(t.TempDir(), name)
 		code, _, stderr := runCLI(t,
 			"-n", "3", "-events", "5", "-seed", "9", "-topo", "star", "-o", path)

@@ -65,6 +65,11 @@ type (
 	Topology = dist.Topology
 	// EventSource iterates an execution's events in timestamp order.
 	EventSource = dist.EventSource
+	// Codec is one on-disk serialization of the streaming trace format
+	// (".jsonl" JSON lines, ".dmtb" length-prefixed binary).
+	Codec = dist.Codec
+	// StreamSink consumes an execution's events in timestamp order.
+	StreamSink = dist.StreamSink
 	// PathResult is the outcome of a bounded-memory single-path run.
 	PathResult = central.PathResult
 	// RunResult is the outcome of a decentralized run.
@@ -170,10 +175,28 @@ func Generate(cfg GenConfig) *TraceSet { return dist.Generate(cfg) }
 // LoadTraces reads a trace set saved by (*TraceSet).SaveFile.
 func LoadTraces(path string) (*TraceSet, error) { return dist.LoadFile(path) }
 
-// StreamTraces opens a trace file as an event stream: ".jsonl" files are
-// read incrementally with memory independent of their length, the
-// materialized formats are loaded whole behind the same interface.
+// StreamTraces opens a trace file as an event stream: the streaming formats
+// (".jsonl", and the faster binary ".dmtb") are read incrementally with
+// memory independent of their length, the materialized formats are loaded
+// whole behind the same interface (IsStreamingPath distinguishes the two).
 func StreamTraces(path string) (EventSource, error) { return dist.StreamFile(path) }
+
+// Codecs returns the registered streaming trace codecs.
+func Codecs() []Codec { return dist.Codecs() }
+
+// CodecByName returns the streaming codec with the given name ("jsonl",
+// "dmtb").
+func CodecByName(name string) (Codec, error) { return dist.CodecByName(name) }
+
+// IsStreamingPath reports whether path names a trace format that streams
+// incrementally end to end.
+func IsStreamingPath(path string) bool { return dist.IsStreamingPath(path) }
+
+// CreateStream creates path and returns a sink writing the streaming trace
+// format chosen by the path's extension (".jsonl" by default).
+func CreateStream(path string, pm *PropMap, init dist.GlobalState) (StreamSink, error) {
+	return dist.CreateStream(path, pm, init)
+}
 
 // RunningExample returns the paper's Fig. 2.1 two-process program, and
 // RunningExampleProperty its Fig. 2.3 property.

@@ -8,46 +8,78 @@ import (
 )
 
 // knowledge is a monitor's partial view of the whole execution: for every
-// process, a contiguous prefix of its events (its own process's prefix is
-// always complete up to the last event delivered by the program). Token
+// process, a contiguous window of its events (its own process's window is
+// always current up to the last event delivered by the program). Token
 // replies carry event segments, which widen this knowledge; the box explorer
 // (boxdp.go) only ever walks regions of the lattice the knowledge covers.
+//
+// The window has a floor as well as a frontier: events at or below the
+// monitor's garbage-collection cut (truncate) are discarded, keeping only
+// the local state at the cut itself, so long-running streams do not
+// accumulate history the exploration can no longer reach. Sequence numbers
+// remain global: len, covers and event all speak the trace's 1-based
+// numbering regardless of how much of the prefix has been collected.
 type knowledge struct {
 	n      int
 	init   dist.GlobalState
-	events [][]*dist.Event // events[p][k] = (k+1)-th event of process p
-	done   []bool          // process p has terminated (no further events)
-	final  []int           // if done[p], total number of events of p
+	events [][]*dist.Event   // events[p][k] = (base[p]+k+1)-th event of process p
+	base   []int             // events 1..base[p] have been garbage-collected
+	bstate []dist.LocalState // local state after event base[p] (init below 1)
+	done   []bool            // process p has terminated (no further events)
+	final  []int             // if done[p], total number of events of p
+
+	retained  int // events currently held across all processes
+	peak      int // high-water mark of retained (Metrics.KnowledgePeak)
+	collected int // total events discarded by truncate (Metrics.KnowledgeCollected)
 }
 
 func newKnowledge(n int, init dist.GlobalState) *knowledge {
-	return &knowledge{
+	k := &knowledge{
 		n:      n,
 		init:   init.Clone(),
 		events: make([][]*dist.Event, n),
+		base:   make([]int, n),
+		bstate: make([]dist.LocalState, n),
 		done:   make([]bool, n),
 		final:  make([]int, n),
 	}
+	copy(k.bstate, k.init)
+	return k
 }
 
-// len returns the length of the known contiguous prefix of process p.
-func (k *knowledge) len(p int) int { return len(k.events[p]) }
+// len returns the length of the known contiguous prefix of process p
+// (including any collected events).
+func (k *knowledge) len(p int) int { return k.base[p] + len(k.events[p]) }
+
+// floor returns the highest collected sequence number of process p.
+func (k *knowledge) floor(p int) int { return k.base[p] }
 
 // event returns the sn-th event (1-based) of process p; it panics if the
-// event is not known — callers must check coverage first.
+// event is not known or already collected — callers must stay between the
+// GC floor and the frontier.
 func (k *knowledge) event(p, sn int) *dist.Event {
-	if sn < 1 || sn > len(k.events[p]) {
-		panic(fmt.Sprintf("core: event %d of process %d not known (have %d)", sn, p, len(k.events[p])))
+	if sn <= k.base[p] || sn > k.len(p) {
+		panic(fmt.Sprintf("core: event %d of process %d not retained (window %d..%d)", sn, p, k.base[p]+1, k.len(p)))
 	}
-	return k.events[p][sn-1]
+	return k.events[p][sn-1-k.base[p]]
+}
+
+// grow appends one event at the frontier of process p (already
+// sequence-checked by append/merge).
+func (k *knowledge) grow(p int, e *dist.Event) {
+	k.events[p] = append(k.events[p], e)
+	k.retained++
+	if k.retained > k.peak {
+		k.peak = k.retained
+	}
 }
 
 // append adds the next local event of process p (sequence-checked).
 func (k *knowledge) append(e *dist.Event) error {
-	if e.SN != len(k.events[e.Proc])+1 {
-		return fmt.Errorf("core: process %d event gap: got sn %d, have %d", e.Proc, e.SN, len(k.events[e.Proc]))
+	if e.SN != k.len(e.Proc)+1 {
+		return fmt.Errorf("core: process %d event gap: got sn %d, have %d", e.Proc, e.SN, k.len(e.Proc))
 	}
-	k.events[e.Proc] = append(k.events[e.Proc], e)
+	k.grow(e.Proc, e)
 	return nil
 }
 
@@ -57,15 +89,49 @@ func (k *knowledge) append(e *dist.Event) error {
 func (k *knowledge) merge(p int, seg []*dist.Event) error {
 	for _, e := range seg {
 		switch {
-		case e.SN <= len(k.events[p]):
-			// already known
-		case e.SN == len(k.events[p])+1:
-			k.events[p] = append(k.events[p], e)
+		case e.SN <= k.len(p):
+			// already known (possibly already collected)
+		case e.SN == k.len(p)+1:
+			k.grow(p, e)
 		default:
-			return fmt.Errorf("core: segment gap for process %d: sn %d after %d", p, e.SN, len(k.events[p]))
+			return fmt.Errorf("core: segment gap for process %d: sn %d after %d", p, e.SN, k.len(p))
 		}
 	}
 	return nil
+}
+
+// truncate garbage-collects, per process, every event at or below the given
+// cut, remembering only the local state at the cut. Components beyond the
+// frontier are clamped; the caller guarantees no future exploration, token
+// service or fetch will reach below the cut.
+func (k *knowledge) truncate(cut vclock.VC) {
+	for p := 0; p < k.n; p++ {
+		target := cut[p]
+		if target > k.len(p) {
+			target = k.len(p)
+		}
+		drop := target - k.base[p]
+		if drop <= 0 {
+			continue
+		}
+		k.bstate[p] = k.events[p][drop-1].State
+		rest := k.events[p][drop:]
+		if len(rest) < cap(k.events[p])/2 {
+			// Compact into a fresh slice so the old backing array (and the
+			// collected events) are released; amortized O(1) per event.
+			fresh := make([]*dist.Event, len(rest))
+			copy(fresh, rest)
+			k.events[p] = fresh
+		} else {
+			for i := 0; i < drop; i++ {
+				k.events[p][i] = nil // release the collected events
+			}
+			k.events[p] = rest
+		}
+		k.base[p] = target
+		k.retained -= drop
+		k.collected += drop
+	}
 }
 
 // markDone records that process p has terminated with the given event count.
@@ -76,8 +142,11 @@ func (k *knowledge) markDone(p, total int) {
 
 // state returns the local state of process p after its sn-th event.
 func (k *knowledge) state(p, sn int) dist.LocalState {
-	if sn <= 0 {
-		return k.init[p]
+	if sn <= k.base[p] {
+		if sn == k.base[p] {
+			return k.bstate[p]
+		}
+		panic(fmt.Sprintf("core: state %d of process %d below the GC floor %d", sn, p, k.base[p]))
 	}
 	return k.event(p, sn).State
 }
@@ -91,10 +160,11 @@ func (k *knowledge) stateAt(cut vclock.VC) dist.GlobalState {
 	return g
 }
 
-// covers reports whether every event in (lo, hi] per process is known.
+// covers reports whether every event up to hi per process is known (it may
+// have been collected; coverage speaks the frontier, not the floor).
 func (k *knowledge) covers(hi vclock.VC) bool {
 	for p := 0; p < k.n; p++ {
-		if hi[p] > len(k.events[p]) {
+		if hi[p] > k.len(p) {
 			return false
 		}
 	}

@@ -22,6 +22,7 @@ const (
 	msgTerm
 	msgFini
 	msgEvent // replicated mode: event broadcast
+	msgFloor // knowledge-GC need-floor announcement (no other payload)
 )
 
 func (k msgKind) String() string {
@@ -38,6 +39,8 @@ func (k msgKind) String() string {
 		return "fini"
 	case msgEvent:
 		return "event"
+	case msgFloor:
+		return "floor"
 	}
 	return fmt.Sprintf("msgKind(%d)", int8(k))
 }
@@ -155,6 +158,11 @@ type wireMsg struct {
 	Term       *termWire
 	Fini       int
 	Event      *dist.Event
+	// Floor piggybacks the sender's knowledge need-floor (§GC, monitor.go:
+	// the pointwise minimum cut its future explorations can start from) on
+	// every decentralized-mode message; floorInf components mean "never
+	// again". Receivers fold it into their view of the global minimal cut.
+	Floor vclock.VC
 }
 
 func encodeMsg(m *wireMsg) ([]byte, error) {

@@ -57,7 +57,8 @@ type Config struct {
 	MaxBoxNodes int
 }
 
-// Metrics counts the overhead quantities reported in Chapter 5.
+// Metrics counts the overhead quantities reported in Chapter 5, plus the
+// knowledge-store footprint of the streaming path.
 type Metrics struct {
 	EventsProcessed    int // local events delivered by the program
 	GlobalViewsCreated int // Fig 5.8: memory overhead proxy
@@ -71,6 +72,14 @@ type Metrics struct {
 	DelaySamples       int // samples of the delayed-event queue (Fig 5.7)
 	DelayedEventsSum   int
 	MessagesSent       int // all monitor messages, any kind
+	// KnowledgePeak is the high-water mark of events simultaneously retained
+	// in this monitor's knowledge store; on collectible workloads it stays
+	// bounded as the trace grows, which is what makes dlmon -stream
+	// memory-bounded.
+	KnowledgePeak int
+	// KnowledgeCollected is the total number of events garbage-collected
+	// below the global minimal cut.
+	KnowledgeCollected int
 }
 
 // globalView is one point of the exploration: the set of automaton states
@@ -114,9 +123,19 @@ type Monitor struct {
 	outstanding   map[int64]bool   // searches awaiting full resolution
 	searchSig     map[int64]string // searchID -> signature, for suppression
 	activeSig     map[string]int   // outstanding searches per signature
-	inflightFetch map[int]int      // proc -> highest SN already requested
+	searchOrigin  map[int64]vclock.VC
+	inflightFetch map[int]int // proc -> highest SN already requested
 	waitTokens    []*tokenWire
 	waitFetches   []pendingFetch
+
+	// Knowledge GC (§ below): curFloor is this monitor's need-floor — the
+	// pointwise minimum cut any of its future explorations or searches can
+	// start from. peerFloor[j] is the latest floor peer j reported;
+	// sentFloor[j] the floor last announced to j (piggybacked or dedicated).
+	curFloor  vclock.VC
+	peerFloor []vclock.VC
+	sentFloor []vclock.VC
+	pumpSeq   uint64 // pumps since start, for gcCollectEvery amortization
 
 	localDone  bool
 	localTotal int
@@ -166,11 +185,18 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		outstanding:   map[int64]bool{},
 		searchSig:     map[int64]string{},
 		activeSig:     map[string]int{},
+		searchOrigin:  map[int64]vclock.VC{},
 		inflightFetch: map[int]int{},
 		peerDone:      make([]bool, cfg.N),
 		peerFini:      make([]bool, cfg.N),
 		verdictStates: map[int]bool{},
 		verdicts:      map[automaton.Verdict]bool{},
+		peerFloor:     make([]vclock.VC, cfg.N),
+		sentFloor:     make([]vclock.VC, cfg.N),
+	}
+	for j := 0; j < cfg.N; j++ {
+		m.peerFloor[j] = vclock.New(cfg.N)
+		m.sentFloor[j] = vclock.New(cfg.N)
 	}
 	return m, nil
 }
@@ -203,7 +229,12 @@ func (m *Monitor) FinalStates() []int {
 }
 
 // Metrics returns the overhead counters after Run has returned.
-func (m *Monitor) Metrics() Metrics { return m.metrics }
+func (m *Monitor) Metrics() Metrics {
+	mt := m.metrics
+	mt.KnowledgePeak = m.know.peak
+	mt.KnowledgeCollected = m.know.collected
+	return mt
+}
 
 // Run executes the monitor until global termination (all processes done,
 // all searches resolved, FINI exchanged). It returns the first internal
@@ -313,6 +344,7 @@ func (m *Monitor) handleMessage(raw transport.Message) {
 		m.fail(err)
 		return
 	}
+	m.noteFloor(raw.From, msg.Floor)
 	switch msg.Kind {
 	case msgToken:
 		m.handleToken(msg.Token)
@@ -329,6 +361,8 @@ func (m *Monitor) handleMessage(raw transport.Message) {
 		if err := m.know.merge(msg.Event.Proc, []*dist.Event{msg.Event}); err != nil {
 			m.fail(err)
 		}
+	case msgFloor:
+		// The envelope's Floor was all the payload.
 	default:
 		m.fail(fmt.Errorf("core: monitor %d: unknown message kind %v", m.cfg.Index, msg.Kind))
 	}
@@ -601,6 +635,7 @@ func (m *Monitor) pump() {
 		}
 	}
 	m.maybeFinalize()
+	m.collectKnowledge()
 	m.maybeFini()
 }
 
@@ -789,6 +824,10 @@ func (m *Monitor) launchSearch(gv *globalView, q int, ids []int) {
 	m.outstanding[t.SearchID] = true
 	m.searchSig[t.SearchID] = sig
 	m.activeSig[sig]++
+	// The search may return a token whose enabled cuts are explored from
+	// t.Origin; the origin pins the knowledge-GC floor until the search
+	// closes.
+	m.searchOrigin[t.SearchID] = t.Origin
 	m.metrics.SearchesLaunched++
 	if !m.routeToken(t) {
 		m.waitTokens = append(m.waitTokens, t)
@@ -798,6 +837,7 @@ func (m *Monitor) launchSearch(gv *globalView, q int, ids []int) {
 // closeSearch retires a fully resolved search.
 func (m *Monitor) closeSearch(id int64) {
 	delete(m.outstanding, id)
+	delete(m.searchOrigin, id)
 	if sig, ok := m.searchSig[id]; ok {
 		delete(m.searchSig, id)
 		if m.activeSig[sig] > 0 {
@@ -828,6 +868,14 @@ func (m *Monitor) maybeFinalize() {
 		return
 	}
 	if !m.quiescent() {
+		return
+	}
+	// With no surviving views there is nothing to extend: finalize without
+	// fetching. (Also a GC invariant: a monitor with no views has reported
+	// an infinite need-floor, so peers may already have collected the
+	// history a blanket fetch-to-final would request.)
+	if len(m.gvs) == 0 {
+		m.finalized = true
 		return
 	}
 	final, ok := m.know.finalCut()
@@ -939,9 +987,138 @@ func (m *Monitor) finished() bool {
 	return true
 }
 
+// --- knowledge garbage collection ---
+//
+// A monitor may discard an event once no future computation can touch it:
+//
+//   - its own explorations start at a global-view cut or at the origin of an
+//     outstanding search, and only ever walk upward — the pointwise minimum
+//     over those cuts is this monitor's *need-floor*;
+//   - peers read this monitor's history through tokens (scanning from the
+//     token's candidate cut, which dominates the parent's search origin) and
+//     fetches (starting past the requester's knowledge frontier, which
+//     dominates its need-floor) — so events of process i below *every*
+//     monitor's need-floor for component i are unreachable globally.
+//
+// Every message therefore piggybacks the sender's need-floor, each monitor
+// folds the reports into its view of the global minimal cut (conservative:
+// reports lag, and need-floors only advance), and truncates its knowledge
+// strictly below the pointwise minimum. Per-pair FIFO delivery makes the
+// in-flight cases safe: a token's cut always dominates its parent's
+// reported floor while the search is outstanding, and a parked fetch pins
+// the requester's floor below the requested range until it is served.
+
+// floorInf is the need-floor component of a monitor that will never again
+// start an exploration from (or below) any cut: nothing pins its peers.
+const floorInf = 1 << 30
+
+// floorAnnounceEvery is how far (in events of one peer's process) this
+// monitor's need-floor may advance beyond what that peer last heard before
+// a dedicated floor message is sent. Piggybacking on ordinary traffic does
+// the work on chatty workloads; the announcement is the backstop that keeps
+// quiet peers collecting too.
+const floorAnnounceEvery = 256
+
+// gcCollectEvery amortizes the floor recomputation: collectKnowledge runs
+// on every gcCollectEvery-th pump rather than every one, so the hot path
+// pays the O(views × n) scan a fraction of the time. A stale floor is
+// strictly lower than the current one (floors are monotone), so skipped
+// pumps only delay collection, never over-collect.
+const gcCollectEvery = 8
+
+// noteFloor folds a peer's reported need-floor into our view of the global
+// minimal cut. Floors only ever advance, so a stale report merges away.
+func (m *Monitor) noteFloor(from int, f vclock.VC) {
+	if f == nil || from < 0 || from >= m.cfg.N || from == m.cfg.Index {
+		return
+	}
+	if len(f) != m.cfg.N {
+		m.fail(fmt.Errorf("core: monitor %d: peer %d reported a %d-entry floor, want %d", m.cfg.Index, from, len(f), m.cfg.N))
+		return
+	}
+	m.peerFloor[from].Merge(f)
+}
+
+// needFloor computes this monitor's need-floor: the pointwise minimum cut
+// any of its future explorations can start from (global views, including
+// blocked ones, plus the origins of outstanding searches). All-floorInf
+// when the monitor has concluded every path it will ever trace.
+func (m *Monitor) needFloor() vclock.VC {
+	f := make(vclock.VC, m.cfg.N)
+	for p := range f {
+		f[p] = floorInf
+	}
+	lower := func(cut vclock.VC) {
+		for p, x := range cut {
+			if x < f[p] {
+				f[p] = x
+			}
+		}
+	}
+	for _, gv := range m.gvs {
+		lower(gv.cut)
+	}
+	for _, origin := range m.searchOrigin {
+		lower(origin)
+	}
+	return f
+}
+
+// collectKnowledge truncates the knowledge store below the global minimal
+// cut: peer events below our own need-floor, and our own events below the
+// minimum of our need-floor and every peer's reported need for them. It
+// runs at the end of every pump, so the store tracks the resolved frontier.
+func (m *Monitor) collectKnowledge() {
+	if m.cfg.Mode != ModeDecentralized {
+		// The replicated baseline evaluates the full lattice from the
+		// initial cut at termination; nothing is ever collectible.
+		return
+	}
+	if m.pumpSeq++; m.pumpSeq%gcCollectEvery != 1 {
+		return
+	}
+	m.curFloor = m.needFloor()
+	trunc := m.curFloor.Clone()
+	i := m.cfg.Index
+	for j := 0; j < m.cfg.N; j++ {
+		if j == i {
+			continue
+		}
+		if pf := m.peerFloor[j][i]; pf < trunc[i] {
+			trunc[i] = pf
+		}
+	}
+	m.know.truncate(trunc)
+	m.announceFloors()
+}
+
+// announceFloors sends a dedicated floor message to any peer that could
+// collect substantially more of its own history than it last heard from us.
+func (m *Monitor) announceFloors() {
+	if m.finiSent {
+		return
+	}
+	for j := 0; j < m.cfg.N; j++ {
+		if j == m.cfg.Index {
+			continue
+		}
+		cur, sent := m.curFloor[j], m.sentFloor[j][j]
+		if cur-sent >= floorAnnounceEvery || (cur > sent && cur >= floorInf) {
+			m.send(j, &wireMsg{Kind: msgFloor})
+		}
+	}
+}
+
 // --- plumbing ---
 
 func (m *Monitor) send(to int, msg *wireMsg) {
+	// Every decentralized-mode message carries the sender's current
+	// need-floor, so the global minimal cut advances with ordinary protocol
+	// traffic (tokens, fetch replies, termination) at no extra message cost.
+	if m.cfg.Mode == ModeDecentralized && m.curFloor != nil {
+		msg.Floor = m.curFloor
+		m.sentFloor[to] = m.curFloor
+	}
 	payload, err := encodeMsg(msg)
 	if err != nil {
 		m.fail(err)

@@ -146,15 +146,15 @@ func ReadJSON(r io.Reader) (*TraceSet, error) {
 }
 
 // SaveFile writes the trace set to path: gob encoding for a ".gob"
-// extension, the streaming line format for ".jsonl" (see stream.go), the
-// JSON trace format otherwise.
+// extension, a streaming codec for its extension (".jsonl", ".dmtb"; see
+// codec.go), the JSON trace format otherwise.
 func (ts *TraceSet) SaveFile(path string) error {
 	// Validate and serialize before touching the destination so a bad trace
 	// set cannot truncate an existing good file.
 	if err := ts.Validate(); err != nil {
 		return err
 	}
-	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+	if codec, ok := CodecForPath(path); ok {
 		// Like the wire-form serialization below, prove the set streamable
 		// before touching the destination.
 		if err := ts.checkLinearizable(); err != nil {
@@ -166,7 +166,7 @@ func (ts *TraceSet) SaveFile(path string) error {
 		}
 		defer f.Close()
 		// The set was already validated above.
-		if err := ts.writeJSONL(f); err != nil {
+		if err := ts.writeStream(codec, f); err != nil {
 			return fmt.Errorf("dist: encoding %s: %w", path, err)
 		}
 		return f.Close()
@@ -200,10 +200,10 @@ func LoadFile(path string) (*TraceSet, error) {
 	}
 	defer f.Close()
 	var ts *TraceSet
-	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
-		tr, err := OpenStream(f)
+	if codec, ok := CodecForPath(path); ok {
+		src, err := codec.Open(f)
 		if err == nil {
-			ts, err = Materialize(tr)
+			ts, err = Materialize(src)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)

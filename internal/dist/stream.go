@@ -5,9 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"strings"
+	"math"
 
 	"decentmon/internal/vclock"
 )
@@ -29,6 +27,20 @@ import (
 
 // streamVersion is the header "v" field writers emit and readers accept.
 const streamVersion = 1
+
+// jsonlCodec is the Codec for the ".jsonl" format.
+type jsonlCodec struct{}
+
+func (jsonlCodec) Name() string { return "jsonl" }
+func (jsonlCodec) Ext() string  { return ".jsonl" }
+
+func (jsonlCodec) Open(r io.Reader) (EventSource, error) {
+	return OpenStream(r)
+}
+
+func (jsonlCodec) Create(w io.Writer, pm *PropMap, init GlobalState) (StreamSink, error) {
+	return NewStreamWriter(w, pm, init)
+}
 
 type jsonStreamHeader struct {
 	Version int        `json:"v"`
@@ -66,7 +78,6 @@ type EventSource interface {
 type StreamWriter struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
-	c   io.Closer // non-nil when the writer owns the destination
 	n   int
 }
 
@@ -111,47 +122,16 @@ func (sw *StreamWriter) Events() int { return sw.n }
 // Flush writes any buffered lines to the destination.
 func (sw *StreamWriter) Flush() error { return sw.bw.Flush() }
 
-// Close flushes and, if the writer owns its destination file, closes it.
-func (sw *StreamWriter) Close() error {
-	if err := sw.bw.Flush(); err != nil {
-		if sw.c != nil {
-			sw.c.Close()
-		}
-		return err
-	}
-	if sw.c != nil {
-		return sw.c.Close()
-	}
-	return nil
-}
+// Close flushes; the writer does not own its destination. CreateStream
+// wraps it so the file closes with the sink.
+func (sw *StreamWriter) Close() error { return sw.bw.Flush() }
 
-// CreateStream creates path and returns a StreamWriter owning it; Close
-// flushes and closes the file.
-func CreateStream(path string, pm *PropMap, init GlobalState) (*StreamWriter, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, err
-	}
-	sw, err := NewStreamWriter(f, pm, init)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	sw.c = f
-	return sw, nil
-}
-
-// WriteJSONL renders the trace set in the streaming format: the header line
-// followed by every event in global timestamp order. The set is validated
-// first, like SaveFile, including the linearizability requirement below.
+// WriteJSONL renders the trace set in the ".jsonl" streaming format: the
+// header line followed by every event in global timestamp order. The set is
+// validated first, like SaveFile, including the linearizability requirement
+// below. WriteStream is the codec-generic equivalent.
 func (ts *TraceSet) WriteJSONL(w io.Writer) error {
-	if err := ts.Validate(); err != nil {
-		return err
-	}
-	if err := ts.checkLinearizable(); err != nil {
-		return err
-	}
-	return ts.writeJSONL(w)
+	return ts.WriteStream(jsonlCodec{}, w)
 }
 
 // checkLinearizable verifies that the timestamp order (the order writeJSONL
@@ -185,29 +165,6 @@ func (ts *TraceSet) checkLinearizable() error {
 	}
 }
 
-// writeJSONL is WriteJSONL without the validation pass, for callers that
-// have already validated the set.
-func (ts *TraceSet) writeJSONL(w io.Writer) error {
-	sw, err := NewStreamWriter(w, ts.Props, ts.InitialState())
-	if err != nil {
-		return err
-	}
-	src := ts.Stream()
-	for {
-		e, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if err := sw.Write(e); err != nil {
-			return err
-		}
-	}
-	return sw.Flush()
-}
-
 // --- streaming reader ---
 
 // TraceReader reads the streaming trace format with O(chunk) memory,
@@ -216,7 +173,6 @@ type TraceReader struct {
 	pm   *PropMap
 	init GlobalState
 	dec  *json.Decoder
-	c    io.Closer // non-nil when the reader owns the source
 	val  *streamValidator
 	line int // 1-based line of the last decoded value (header = 1)
 	err  error
@@ -256,31 +212,6 @@ func OpenStream(r io.Reader) (*TraceReader, error) {
 		pm: pm, init: init, dec: dec, line: 1,
 		val: newStreamValidator(n),
 	}, nil
-}
-
-// StreamFile opens a trace file as an event stream. A ".jsonl" file is read
-// incrementally with memory independent of its length; the materialized
-// formats (".json", ".gob") are loaded whole and then iterated, so existing
-// files keep working behind the same interface.
-func StreamFile(path string) (EventSource, error) {
-	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := OpenStream(f)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		tr.c = f
-		return tr, nil
-	}
-	ts, err := LoadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return ts.Stream(), nil
 }
 
 // Props returns the stream's proposition space.
@@ -329,13 +260,9 @@ func (tr *TraceReader) Next() (*Event, error) {
 	return e, nil
 }
 
-// Close releases the underlying file, if the reader owns one.
-func (tr *TraceReader) Close() error {
-	if tr.c != nil {
-		return tr.c.Close()
-	}
-	return nil
-}
+// Close releases nothing: the reader does not own its source. StreamFile
+// wraps it so the file closes with the source.
+func (tr *TraceReader) Close() error { return nil }
 
 // streamValidator is the incremental counterpart of (*TraceSet).Validate: it
 // enforces, event by event, that the stream is a timestamp-ordered
@@ -391,7 +318,13 @@ func (v *streamValidator) check(e *Event) error {
 		return fmt.Errorf("process %d event %d clock %v not monotone after %v", p, e.SN, e.VC, v.prevVC[p])
 	}
 	// Timestamp order + causal delivery: an event may only reference peer
-	// events that already appeared earlier in the stream.
+	// events that already appeared earlier in the stream. NaN is rejected
+	// explicitly — NaN comparisons are all false, so one NaN timestamp
+	// (representable in the binary codec) would otherwise poison prevTime
+	// and disable the ordering check for the rest of the stream.
+	if math.IsNaN(e.Time) {
+		return fmt.Errorf("process %d event %d has a NaN timestamp", p, e.SN)
+	}
 	if e.Time < v.prevTime {
 		return fmt.Errorf("process %d event %d timestamp %v out of order (stream at %v)", p, e.SN, e.Time, v.prevTime)
 	}
@@ -554,13 +487,24 @@ func Materialize(src EventSource) (*TraceSet, error) {
 		}
 		ts.Traces[e.Proc].Events = append(ts.Traces[e.Proc].Events, e)
 	}
-	// A TraceReader has already validated every event incrementally (its
+	// A codec reader has already validated every event incrementally (its
 	// causal-delivery checks subsume Validate's clock-bound ones), so only
 	// unvalidated sources pay the second pass.
-	if _, streamed := src.(*TraceReader); !streamed {
+	inner := src
+	if o, ok := inner.(*ownedSource); ok {
+		inner = o.EventSource
+	}
+	if _, streamed := inner.(validatedSource); !streamed {
 		if err := ts.Validate(); err != nil {
 			return nil, err
 		}
 	}
 	return ts, nil
 }
+
+// validatedSource marks event sources that validate incrementally as they
+// decode; Materialize skips the whole-set re-validation for them.
+type validatedSource interface{ streamValidated() }
+
+func (tr *TraceReader) streamValidated() {}
+func (r *BinaryReader) streamValidated() {}

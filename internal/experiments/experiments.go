@@ -152,6 +152,10 @@ type Cell struct {
 	// DelayPct is the paper's Fig. 5.6 metric:
 	// ((monitorExtraTime/programTime)*100) / totalGlobalViews.
 	DelayPct float64
+	// KnowledgePeak is the average (over seeds) of the largest knowledge
+	// store any monitor held — the memory-boundedness metric of the
+	// GC-enabled streaming path.
+	KnowledgePeak float64
 	// Verdicts observed (union across monitors), for sanity reporting.
 	Verdicts string
 }
@@ -179,13 +183,17 @@ func Measure(property string, n int, cfg Config) (*Cell, error) {
 		}
 		cell.Events += float64(ts.TotalEvents())
 		cell.Messages += float64(res.NetMessages)
-		gv := 0
+		gv, peak := 0, 0
 		delayedSum, delaySamples := 0, 0
 		for _, m := range res.Metrics {
 			gv += m.GlobalViewsCreated
 			delayedSum += m.DelayedEventsSum
 			delaySamples += m.DelaySamples
+			if m.KnowledgePeak > peak {
+				peak = m.KnowledgePeak
+			}
 		}
+		cell.KnowledgePeak += float64(peak)
 		cell.GlobalViews += float64(gv)
 		if delaySamples > 0 {
 			cell.DelayedEvents += float64(delayedSum) / float64(delaySamples)
@@ -206,6 +214,7 @@ func Measure(property string, n int, cfg Config) (*Cell, error) {
 	cell.GlobalViews /= k
 	cell.DelayedEvents /= k
 	cell.DelayPct /= k
+	cell.KnowledgePeak /= k
 	var vs []string
 	for v := range verdicts {
 		vs = append(vs, v.String())

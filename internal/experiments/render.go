@@ -60,7 +60,7 @@ func RenderTable51(rows []Table51Row) string {
 
 // RenderCells renders a sweep as the data series behind Figs. 5.4–5.8.
 func RenderCells(cells []*Cell) string {
-	header := []string{"prop", "n", "events", "messages", "log10(ev)", "log10(msg)", "globalviews", "delayedEv", "delay%/GV", "verdicts"}
+	header := []string{"prop", "n", "events", "messages", "log10(ev)", "log10(msg)", "globalviews", "delayedEv", "delay%/GV", "knowPeak", "verdicts"}
 	var body [][]string
 	for _, c := range cells {
 		body = append(body, []string{
@@ -68,7 +68,7 @@ func RenderCells(cells []*Cell) string {
 			fmt.Sprintf("%.1f", c.Events), fmt.Sprintf("%.1f", c.Messages),
 			fmt.Sprintf("%.2f", Log10(c.Events)), fmt.Sprintf("%.2f", Log10(c.Messages)),
 			fmt.Sprintf("%.1f", c.GlobalViews), fmt.Sprintf("%.2f", c.DelayedEvents),
-			fmt.Sprintf("%.3f", c.DelayPct), c.Verdicts,
+			fmt.Sprintf("%.3f", c.DelayPct), fmt.Sprintf("%.1f", c.KnowledgePeak), c.Verdicts,
 		})
 	}
 	return renderTable(header, body)
