@@ -19,12 +19,20 @@
 //	dlmon -trace t.gob -case B -tcp -compare
 //	tracegen -n 8 -events 200000 -topo ring -o big.dmtb
 //	dlmon -trace big.dmtb -bounded -case B
+//
+// Exit status: 0 on success, 1 on error, 2 on usage mistakes, and 3 when
+// the final verdict set contains ⊥ (a property violation) — so shell
+// pipelines and CI smoke tests can gate on violations:
+//
+//	dlmon -trace t.jsonl -stream -case B || echo "violated or failed"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"decentmon/internal/automaton"
@@ -48,11 +56,17 @@ func main() {
 		replic    = flag.Bool("replicated", false, "use the replicated-broadcast baseline mode")
 		noFin     = flag.Bool("nofinalize", false, "skip extending views to the final cut")
 		pace      = flag.Float64("pace", 0, "real-time replay scale (simulated seconds × pace = wall seconds)")
+		maxLag    = flag.Int("maxlag", 0, "retained-knowledge backlog (events/monitor) before the feeder blocks; 0 = default, negative disables backpressure")
 		compare   = flag.Bool("compare", false, "also run the oracle and the centralized baseline and compare")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dlmon -trace FILE [-case A..F | 'formula'] [flags]")
+		fmt.Fprintln(os.Stderr, "exit status: 0 ok, 1 error, 2 usage, 3 final verdict contains ⊥ (violation)")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "usage: dlmon -trace FILE [-case A..F | 'formula'] [flags]")
+		flag.Usage()
 		os.Exit(2)
 	}
 	if *compare && (*stream || *bounded) {
@@ -60,10 +74,11 @@ func main() {
 		// lattice; comparing defeats the purpose of streaming.
 		fatal(fmt.Errorf("-compare needs the materialized path; drop -stream/-bounded"))
 	}
-	if *bounded && (*tcp || *replic || *noFin || *pace > 0) {
-		// The bounded path evaluator has no monitor network, modes or
-		// finalization; rejecting beats silently dropping the flags.
-		fatal(fmt.Errorf("-bounded is incompatible with -tcp, -replicated, -nofinalize and -pace"))
+	if *bounded && (*tcp || *replic || *noFin || *pace > 0 || *maxLag != 0) {
+		// The bounded path evaluator has no monitor network, modes,
+		// finalization or lag gate; rejecting beats silently dropping the
+		// flags.
+		fatal(fmt.Errorf("-bounded is incompatible with -tcp, -replicated, -nofinalize, -pace and -maxlag"))
 	}
 
 	// The stream header (or the loaded set) provides the proposition space
@@ -120,8 +135,13 @@ func main() {
 		fatal(err)
 	}
 
+	// All three modes ride the context-aware session engine: an interrupt
+	// cancels the monitors mid-run instead of leaving them to be killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *bounded {
-		res, err := central.RunPath(src, mon)
+		res, err := central.RunPathContext(ctx, src, mon)
 		if err != nil {
 			fatal(err)
 		}
@@ -137,6 +157,9 @@ func main() {
 		if res.FirstConclusiveEvents >= 0 {
 			fmt.Printf("conclusive at  : event %d\n", res.FirstConclusiveEvents)
 		}
+		if res.Verdict == automaton.Bottom {
+			os.Exit(3)
+		}
 		return
 	}
 
@@ -145,6 +168,7 @@ func main() {
 		Automaton:    mon,
 		SkipFinalize: *noFin,
 		Pace:         *pace,
+		MaxLag:       *maxLag,
 	}
 	if *replic {
 		cfg.Mode = core.ModeReplicated
@@ -158,9 +182,9 @@ func main() {
 	}
 	var res *core.RunResult
 	if *stream {
-		res, err = core.RunStream(src, cfg)
+		res, err = core.RunStreamContext(ctx, src, cfg)
 	} else {
-		res, err = core.Run(cfg)
+		res, err = core.RunContext(ctx, cfg)
 	}
 	if err != nil {
 		fatal(err)
@@ -213,6 +237,10 @@ func main() {
 			}
 		}
 		fmt.Printf("sound+complete : %v\n", match)
+	}
+	if res.Verdicts[automaton.Bottom] {
+		// Distinct from error exits so pipelines can gate on violations.
+		os.Exit(3)
 	}
 }
 

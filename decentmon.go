@@ -16,7 +16,7 @@
 //	internal/central    the centralized baseline
 //	internal/transport  in-memory and TCP monitor networks
 //
-// A minimal end-to-end run:
+// A minimal end-to-end replay:
 //
 //	props := decentmon.PerProcessProps(3, "p", "q")
 //	spec, _ := decentmon.Compile("F (P0.p && P1.p && P2.p)", props)
@@ -24,13 +24,27 @@
 //	res, _ := decentmon.Run(spec, traces)
 //	fmt.Println(res.VerdictList()) // e.g. [T ?]
 //
+// Monitoring is online by construction — Run, RunStream and RunBounded are
+// replay adapters over the Session engine, which can just as well be
+// attached to a live execution:
+//
+//	sess, _ := decentmon.NewSession(spec, 3)
+//	p0 := sess.Process(0)                   // one handle per live process
+//	p0.Internal(0b01)                       // stamped + monitored as it happens
+//	tok, _ := p0.Send(1, 0b01)              // token rides the app's own message
+//	sess.Process(1).Recv(tok, 0b00)
+//	for ev := range sess.Verdicts() { ... } // verdicts as they are detected
+//	res, _ := sess.Close()                  // finalization + terminal result
+//
 // Soundness and completeness can be checked against the oracle:
 //
 //	oracle, _ := decentmon.Oracle(spec, traces)  // exact verdict set over all lattice paths
 package decentmon
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/central"
@@ -59,6 +73,14 @@ type (
 	Trace = dist.Trace
 	// Event is one internal/send/receive event with its vector clock.
 	Event = dist.Event
+	// LocalState is one process's bit-packed valuation.
+	LocalState = dist.LocalState
+	// GlobalState is the vector of local states across all processes.
+	GlobalState = dist.GlobalState
+	// MsgToken pairs a live Send with its Recv (Process.Send/Recv).
+	MsgToken = dist.MsgToken
+	// VerdictEvent is one incremental verdict detection (Session.Verdicts).
+	VerdictEvent = core.VerdictEvent
 	// GenConfig parameterizes the case-study workload generator (§5.2).
 	GenConfig = dist.GenConfig
 	// Topology selects the workload's communication pattern.
@@ -188,14 +210,24 @@ func Codecs() []Codec { return dist.Codecs() }
 // "dmtb").
 func CodecByName(name string) (Codec, error) { return dist.CodecByName(name) }
 
+// CodecForPath returns the streaming codec registered for the path's
+// extension, if any.
+func CodecForPath(path string) (Codec, bool) { return dist.CodecForPath(path) }
+
 // IsStreamingPath reports whether path names a trace format that streams
 // incrementally end to end.
 func IsStreamingPath(path string) bool { return dist.IsStreamingPath(path) }
 
 // CreateStream creates path and returns a sink writing the streaming trace
 // format chosen by the path's extension (".jsonl" by default).
-func CreateStream(path string, pm *PropMap, init dist.GlobalState) (StreamSink, error) {
+func CreateStream(path string, pm *PropMap, init GlobalState) (StreamSink, error) {
 	return dist.CreateStream(path, pm, init)
+}
+
+// CreateStreamCodec is CreateStream with the codec forced explicitly,
+// regardless of the path's extension (tracegen -format does this).
+func CreateStreamCodec(codec Codec, path string, pm *PropMap, init GlobalState) (StreamSink, error) {
+	return dist.CreateStreamCodec(codec, path, pm, init)
 }
 
 // RunningExample returns the paper's Fig. 2.1 two-process program, and
@@ -212,76 +244,206 @@ func CaseStudyProperty(name string, n int) (string, error) {
 	return props.Formula(name, n)
 }
 
-// RunOption tunes a decentralized run.
-type RunOption func(*core.RunConfig)
+// Option tunes a replay run (Run, RunStream, RunBounded) or an online
+// monitoring session (NewSession). Options that do not apply to an entry
+// point are rejected by it with an error rather than silently ignored.
+type Option func(*options)
+
+// RunOption and SessionOption are synonyms of Option, kept for readable
+// call sites and compatibility with the pre-session API.
+type (
+	RunOption     = Option
+	SessionOption = Option
+)
+
+type options struct {
+	ctx     context.Context
+	cfg     core.RunConfig
+	init    GlobalState
+	bounded bool
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.ctx == nil {
+		o.ctx = context.Background()
+	}
+	return o
+}
+
+// WithContext attaches a context: cancelling it aborts the run or session
+// promptly (Feed, End and Close return the context's error).
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
 
 // WithNetwork supplies a transport (e.g. NewTCPNetwork) instead of the
-// default in-memory one.
-func WithNetwork(nw Network) RunOption {
-	return func(c *core.RunConfig) { c.Network = nw }
+// default in-memory one. The run or session closes it on completion.
+func WithNetwork(nw Network) Option {
+	return func(o *options) { o.cfg.Network = nw }
 }
 
 // Replicated switches to the exhaustive broadcast baseline (every monitor
 // receives every event and evaluates the full lattice).
-func Replicated() RunOption {
-	return func(c *core.RunConfig) { c.Mode = core.ModeReplicated }
+func Replicated() Option {
+	return func(o *options) { o.cfg.Mode = core.ModeReplicated }
 }
 
 // WithoutFinalization skips extending surviving views to the final cut;
 // monitors then report only what the token machinery detected online.
-func WithoutFinalization() RunOption {
-	return func(c *core.RunConfig) { c.SkipFinalize = true }
+func WithoutFinalization() Option {
+	return func(o *options) { o.cfg.SkipFinalize = true }
 }
 
 // WithPace replays events in real time scaled by the factor (simulated
-// seconds × pace = wall seconds).
-func WithPace(pace float64) RunOption {
-	return func(c *core.RunConfig) { c.Pace = pace }
+// seconds × pace = wall seconds). Replay entry points only.
+func WithPace(pace float64) Option {
+	return func(o *options) { o.cfg.Pace = pace }
+}
+
+// WithMaxLag bounds each monitor's retained-knowledge backlog: Feed (and
+// the replay feeders) block while any monitor retains at least n events and
+// the pipeline is still making progress, which keeps an unpaced replay's
+// memory bounded on collectible workloads. 0 keeps the default
+// (core.DefaultMaxLag); a negative n disables backpressure.
+func WithMaxLag(n int) Option {
+	return func(o *options) { o.cfg.MaxLag = n }
+}
+
+// WithoutBackpressure disables the feeder-side lag gate entirely; the
+// monitors' knowledge then buffers however far the feed outruns them.
+func WithoutBackpressure() Option { return WithMaxLag(-1) }
+
+// WithInitialState sets the initial global state of an online session (one
+// LocalState per process, defaults to all-zero valuations). Sessions only;
+// replays take the initial state from the trace header.
+func WithInitialState(init GlobalState) Option {
+	return func(o *options) { o.init = init.Clone() }
+}
+
+// Bounded switches NewSession to the single-path evaluator: the property is
+// evaluated along the feed order's lattice path in O(n) memory (the engine
+// behind RunBounded and dlmon -bounded). The verdict is always a member of
+// the oracle's verdict set. Incompatible with WithNetwork, Replicated and
+// WithoutFinalization — the path evaluator has no monitor network or modes.
+func Bounded() Option {
+	return func(o *options) { o.bounded = true }
+}
+
+// checkReplay rejects options a decentralized replay entry point (Run,
+// RunStream) cannot honor.
+func (o *options) checkReplay(entry string) error {
+	if o.bounded {
+		return fmt.Errorf("decentmon: Bounded applies to NewSession and RunBounded, not %s", entry)
+	}
+	if o.init != nil {
+		return fmt.Errorf("decentmon: %s takes the initial state from the trace header; WithInitialState applies to NewSession", entry)
+	}
+	return nil
+}
+
+// checkBounded rejects options the single-path evaluator cannot honor: it
+// has no monitor network, modes, finalization, pacing or lag gate.
+func (o *options) checkBounded(entry string) error {
+	if o.cfg.Network != nil || o.cfg.Mode == core.ModeReplicated || o.cfg.SkipFinalize {
+		return fmt.Errorf("decentmon: %s is a single-path evaluation; WithNetwork, Replicated and WithoutFinalization do not apply", entry)
+	}
+	if o.cfg.Pace != 0 {
+		return fmt.Errorf("decentmon: %s does not pace; WithPace applies to Run and RunStream", entry)
+	}
+	if o.cfg.MaxLag != 0 {
+		return fmt.Errorf("decentmon: %s is O(n)-memory by construction; WithMaxLag applies to the decentralized engine", entry)
+	}
+	return nil
 }
 
 // Run deploys one monitor per process, replays the traces, and returns the
-// union verdict set plus per-monitor overhead metrics.
-func Run(spec *Spec, ts *TraceSet, opts ...RunOption) (*RunResult, error) {
+// union verdict set plus per-monitor overhead metrics. It is a replay
+// adapter over the online Session engine: each process's events are fed in
+// recorded order (optionally paced), then the session is closed.
+func Run(spec *Spec, ts *TraceSet, opts ...Option) (*RunResult, error) {
 	if err := checkSpecTraces(spec, ts); err != nil {
 		return nil, err
 	}
-	cfg := core.RunConfig{Traces: ts, Automaton: spec.mon}
-	for _, o := range opts {
-		o(&cfg)
+	o := buildOptions(opts)
+	if err := o.checkReplay("Run"); err != nil {
+		return nil, err
 	}
-	return core.Run(cfg)
+	cfg := o.cfg
+	cfg.Traces = ts
+	cfg.Automaton = spec.mon
+	return core.RunContext(o.ctx, cfg)
 }
 
 // RunStream is Run over an event stream (e.g. StreamTraces on a ".jsonl"
 // file): the decentralized monitors are fed incrementally as events are
 // read, never materializing the execution. Verdict sets equal Run's on the
-// equivalent trace set.
-func RunStream(spec *Spec, src EventSource, opts ...RunOption) (*RunResult, error) {
+// equivalent trace set, and the feeder-side backpressure (WithMaxLag) keeps
+// memory bounded even without pacing on collectible workloads.
+func RunStream(spec *Spec, src EventSource, opts ...Option) (*RunResult, error) {
 	if src == nil {
 		return nil, fmt.Errorf("decentmon: nil event source")
 	}
 	if err := checkSpecProps(spec, src.Props()); err != nil {
 		return nil, err
 	}
-	cfg := core.RunConfig{Automaton: spec.mon}
-	for _, o := range opts {
-		o(&cfg)
+	o := buildOptions(opts)
+	if err := o.checkReplay("RunStream"); err != nil {
+		return nil, err
 	}
-	return core.RunStream(src, cfg)
+	cfg := o.cfg
+	cfg.Automaton = spec.mon
+	return core.RunStreamContext(o.ctx, src, cfg)
 }
 
 // RunBounded evaluates the property along the stream's physical-time
 // lattice path in O(n) memory — the verdict is always a member of the
 // oracle's verdict set, and arbitrarily long executions can be monitored
-// with a footprint independent of trace length.
-func RunBounded(spec *Spec, src EventSource) (*PathResult, error) {
+// with a footprint independent of trace length. It is a replay adapter
+// over the Bounded session engine.
+func RunBounded(spec *Spec, src EventSource, opts ...Option) (*PathResult, error) {
 	if src == nil {
 		return nil, fmt.Errorf("decentmon: nil event source")
 	}
 	if err := checkSpecProps(spec, src.Props()); err != nil {
 		return nil, err
 	}
-	return central.RunPath(src, spec.mon)
+	o := buildOptions(opts)
+	if err := o.checkBounded("RunBounded"); err != nil {
+		return nil, err
+	}
+	if o.init != nil {
+		return nil, fmt.Errorf("decentmon: RunBounded takes the initial state from the stream header; WithInitialState applies to NewSession")
+	}
+	s, err := newSession(spec, src.N(), options{ctx: o.ctx, init: src.Init(), bounded: true})
+	if err != nil {
+		return nil, err
+	}
+	var feedErr error
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		if err := s.Feed(e); err != nil {
+			feedErr = err
+			break
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		return nil, err
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	return s.pathResult, nil
 }
 
 // Oracle computes the exact verdict set over every path of the execution's

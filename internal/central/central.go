@@ -11,6 +11,7 @@
 package central
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -243,10 +244,19 @@ func Run(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
 // grows with the execution; for a truly memory-bounded streaming evaluation
 // see RunPath.
 func RunStream(src dist.EventSource, mon *automaton.Monitor) (*Result, error) {
+	return RunStreamContext(context.Background(), src, mon)
+}
+
+// RunStreamContext is RunStream with cancellation: the feed loop checks ctx
+// between events, so cancelling aborts long replays promptly.
+func RunStreamContext(ctx context.Context, src dist.EventSource, mon *automaton.Monitor) (*Result, error) {
 	n := src.N()
 	m := New(mon, src.Props(), n, src.Init())
 	counts := make([]int, n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e, err := src.Next()
 		if err == io.EOF {
 			break

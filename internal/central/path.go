@@ -1,6 +1,7 @@
 package central
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,6 +84,12 @@ func (m *PathMonitor) Feed(e *dist.Event) error {
 // Verdict returns the automaton verdict at the current cut.
 func (m *PathMonitor) Verdict() automaton.Verdict { return m.mon.VerdictOf(m.state) }
 
+// State returns the automaton state at the current cut.
+func (m *PathMonitor) State() int { return m.state }
+
+// Cut returns the current cut (events consumed per process).
+func (m *PathMonitor) Cut() []int { return append([]int(nil), m.counts...) }
+
 // PathResult summarizes a finished single-path evaluation.
 type PathResult struct {
 	// Verdict is the LTL3 verdict at the end of the path — always a member
@@ -108,8 +115,16 @@ func (m *PathMonitor) Finish() *PathResult {
 // streaming reader it monitors arbitrarily long executions in memory
 // independent of trace length.
 func RunPath(src dist.EventSource, mon *automaton.Monitor) (*PathResult, error) {
+	return RunPathContext(context.Background(), src, mon)
+}
+
+// RunPathContext is RunPath with cancellation, checked between events.
+func RunPathContext(ctx context.Context, src dist.EventSource, mon *automaton.Monitor) (*PathResult, error) {
 	m := NewPath(mon, src.Props(), src.N(), src.Init())
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e, err := src.Next()
 		if err == io.EOF {
 			break

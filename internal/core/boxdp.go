@@ -15,8 +15,9 @@ type boxResult struct {
 	// fired strictly inside the box (the "pivot global states" of §4.5.2);
 	// the monitor forks a global view at each.
 	pivots []pivot
-	// conclusive are the conclusive states hit anywhere in the box.
-	conclusive []int
+	// conclusive are the conclusive states hit anywhere in the box, with
+	// the first cut each was discovered at.
+	conclusive []pivot
 	// nodes is the number of consistent cuts visited.
 	nodes int
 }
@@ -105,7 +106,7 @@ func exploreBox(mon *automaton.Monitor, know *knowledge, pm letterer, init state
 					}
 					if mon.Final(nq) && !seenConcl[nq] {
 						seenConcl[nq] = true
-						res.conclusive = append(res.conclusive, nq)
+						res.conclusive = append(res.conclusive, pivot{q: nq, cut: next.Clone()})
 					}
 				}
 			}

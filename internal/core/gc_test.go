@@ -48,9 +48,7 @@ func runGC(t *testing.T, events int, pace float64) (*RunResult, int, int) {
 // TestKnowledgePeakBoundedAcrossTraceGrowth is the memory-boundedness
 // acceptance: growing the trace 10× must not grow the peak retained
 // knowledge by more than 2× on a collectible workload. The replay is paced
-// (as in a live deployment, event gaps dwarf monitor round trips); an
-// unpaced replay outruns the token/fetch round trips by construction, and
-// the knowledge store must buffer that gap no matter what GC does.
+// (as in a live deployment, event gaps dwarf monitor round trips).
 func TestKnowledgePeakBoundedAcrossTraceGrowth(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paced replay takes ~seconds")
@@ -65,6 +63,24 @@ func TestKnowledgePeakBoundedAcrossTraceGrowth(t *testing.T) {
 			200, peakSmall, 2000, peakLarge)
 	}
 	t.Logf("peak small=%d large=%d collected=%d", peakSmall, peakLarge, collected)
+}
+
+// TestKnowledgePeakBoundedUnpaced is the same acceptance with no pacing at
+// all: the session engine's feeder-side backpressure (session.go) throttles
+// the replay to the monitors' round-trip rate, so even a replay that would
+// otherwise outrun every token/fetch exchange keeps its retained knowledge
+// bounded as the trace grows.
+func TestKnowledgePeakBoundedUnpaced(t *testing.T) {
+	_, peakSmall, _ := runGC(t, 200, 0)
+	_, peakLarge, collected := runGC(t, 2000, 0)
+	if collected == 0 {
+		t.Fatal("10× run collected no knowledge")
+	}
+	if peakLarge > 2*peakSmall {
+		t.Errorf("unpaced knowledge peak grew with the trace: %d events -> peak %d, %d events -> peak %d",
+			200, peakSmall, 2000, peakLarge)
+	}
+	t.Logf("unpaced peak small=%d large=%d collected=%d", peakSmall, peakLarge, collected)
 }
 
 // TestGCRunMatchesMaterializedVerdicts pins soundness under GC: the

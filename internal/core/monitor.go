@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/dist"
@@ -55,6 +57,10 @@ type Config struct {
 	FinalizeFull bool
 	// MaxBoxNodes bounds a single lattice-region exploration (default 2^21).
 	MaxBoxNodes int
+	// FeedBuffer is the capacity of the program→monitor feed queue
+	// (default 1024). Sessions with backpressure use a small buffer so the
+	// retained-knowledge gauge reflects what the feeder actually injected.
+	FeedBuffer int
 }
 
 // Metrics counts the overhead quantities reported in Chapter 5, plus the
@@ -150,9 +156,24 @@ type Monitor struct {
 	initialQ      int
 
 	metrics Metrics
-	// OnConclusive, if set, is called (from the monitor goroutine) the
-	// first time each conclusive automaton state is detected.
-	OnConclusive func(v automaton.Verdict)
+	// OnVerdict, if set, is called (from the monitor goroutine) the first
+	// time each automaton verdict state is recorded, with the consistent
+	// cut at which it was detected when a single one is known (nil when the
+	// detection site has no unique cut, e.g. a box-interior hit).
+	OnVerdict func(state int, v automaton.Verdict, cut vclock.VC)
+
+	// ctx is the session context; the run loop and the pump check it so a
+	// cancelled session returns promptly mid-exploration.
+	ctx context.Context
+
+	// lagGauge publishes know.retained and progressGauge the monotone sum
+	// of collected events and closed searches, both after every pump, for
+	// the session's feeder-side backpressure gate (session.go). onProgress
+	// is the session's relief hook, invoked whenever progressGauge advances.
+	lagGauge      atomic.Int64
+	progressGauge atomic.Int64
+	onProgress    func()
+	searchesDone  int64
 
 	err error
 }
@@ -172,6 +193,9 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 	if cfg.MaxBoxNodes == 0 {
 		cfg.MaxBoxNodes = 1 << 21
 	}
+	if cfg.FeedBuffer <= 0 {
+		cfg.FeedBuffer = 1024
+	}
 	m := &Monitor{
 		cfg:           cfg,
 		ep:            ep,
@@ -179,7 +203,7 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		pm:            cfg.Props,
 		gt:            newGuardTable(cfg.Automaton, cfg.Props, cfg.N),
 		know:          newKnowledge(cfg.N, cfg.Init),
-		feed:          make(chan feedItem, 1024),
+		feed:          make(chan feedItem, cfg.FeedBuffer),
 		gvs:           map[string]*globalView{},
 		launched:      map[string]bool{},
 		outstanding:   map[int64]bool{},
@@ -201,12 +225,29 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 	return m, nil
 }
 
-// Deliver feeds one local event of the composed program process (safe to
-// call from another goroutine).
-func (m *Monitor) Deliver(e *dist.Event) { m.feed <- feedItem{event: e} }
+// DeliverContext feeds one local event of the composed program process
+// (safe to call from another goroutine), giving up when ctx is cancelled
+// instead of blocking on a full feed queue (e.g. after the monitor exited
+// on error).
+func (m *Monitor) DeliverContext(ctx context.Context, e *dist.Event) error {
+	select {
+	case m.feed <- feedItem{event: e}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
-// EndTrace signals that the program process terminated after total events.
-func (m *Monitor) EndTrace(total int) { m.feed <- feedItem{term: true, total: total} }
+// EndTraceContext signals that the program process terminated after total
+// events, with cancellation like DeliverContext.
+func (m *Monitor) EndTraceContext(ctx context.Context, total int) error {
+	select {
+	case m.feed <- feedItem{term: true, total: total}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Verdicts returns the verdict set after Run has returned.
 func (m *Monitor) Verdicts() map[automaton.Verdict]bool {
@@ -218,7 +259,8 @@ func (m *Monitor) Verdicts() map[automaton.Verdict]bool {
 }
 
 // FinalStates returns the automaton states this monitor's paths reached
-// (conclusive detections plus, after finalization, final-cut states).
+// (conclusive detections plus, after finalization, final-cut states; in
+// no-finalize mode, the states of views surviving at FINI).
 func (m *Monitor) FinalStates() []int {
 	var out []int
 	for s := range m.verdictStates {
@@ -237,14 +279,18 @@ func (m *Monitor) Metrics() Metrics {
 }
 
 // Run executes the monitor until global termination (all processes done,
-// all searches resolved, FINI exchanged). It returns the first internal
-// error, if any.
-func (m *Monitor) Run() error {
+// all searches resolved, FINI exchanged) or until ctx is cancelled. It
+// returns the first internal error, or the context's error on cancellation.
+func (m *Monitor) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
 	// INIT (§4.2.0.2): the initial global view consumes the initial global
 	// state.
 	q0 := m.mon.Step(m.mon.Initial(), m.pm.Letter(m.cfg.Init))
 	if m.mon.Final(q0) {
-		m.recordVerdictState(q0)
+		m.recordVerdictState(q0, vclock.New(m.cfg.N))
 	}
 	if m.cfg.Mode == ModeDecentralized && !m.mon.Final(q0) {
 		init := newStateset(m.mon.NumStates())
@@ -256,6 +302,9 @@ func (m *Monitor) Run() error {
 
 	inbox := m.ep.Inbox()
 	for !m.finished() && m.err == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		select {
 		case item := <-m.feed:
 			if item.term {
@@ -268,6 +317,8 @@ func (m *Monitor) Run() error {
 				return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
 			}
 			m.handleMessage(msg)
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 		m.pump()
 	}
@@ -476,13 +527,13 @@ func (m *Monitor) integrateEnabled(t *tokenWire, tr *transWire) {
 // the join-irreducible elements of the satisfying sub-lattice (§4.1); later
 // pivots of the same state are reachable from them or from the continuation.
 func (m *Monitor) integrateBox(box *boxResult, origin stateset, continueAt vclock.VC) {
-	for _, q := range box.conclusive {
-		m.recordVerdictState(q)
+	for _, c := range box.conclusive {
+		m.recordVerdictState(c.q, c.cut)
 	}
 	minimal := map[int][]pivot{}
 	for _, p := range box.pivots {
 		if m.mon.Final(p.q) {
-			m.recordVerdictState(p.q)
+			m.recordVerdictState(p.q, p.cut)
 			continue
 		}
 		keep := minimal[p.q][:0]
@@ -511,7 +562,7 @@ func (m *Monitor) integrateBox(box *boxResult, origin stateset, continueAt vcloc
 		fresh := false
 		for _, q := range box.finalStates {
 			if m.mon.Final(q) {
-				m.recordVerdictState(q)
+				m.recordVerdictState(q, continueAt)
 				continue
 			}
 			cont.set(q)
@@ -606,8 +657,11 @@ func (m *Monitor) addGV(states stateset, cut vclock.VC, gstate dist.GlobalState,
 }
 
 // pump drives all deferred work after each input: advancing views,
-// launching searches, finalization and the FINI handshake.
+// launching searches, finalization and the FINI handshake. A cancelled
+// session context aborts the view-advancement loop between iterations so
+// long explorations do not delay shutdown.
 func (m *Monitor) pump() {
+	defer m.publishGauges()
 	if m.err != nil {
 		return
 	}
@@ -617,6 +671,9 @@ func (m *Monitor) pump() {
 		return
 	}
 	for {
+		if m.ctx != nil && m.ctx.Err() != nil {
+			return
+		}
 		progressed := false
 		for _, key := range m.gvKeys() {
 			gv, ok := m.gvs[key]
@@ -637,6 +694,20 @@ func (m *Monitor) pump() {
 	m.maybeFinalize()
 	m.collectKnowledge()
 	m.maybeFini()
+}
+
+// publishGauges exposes the knowledge backlog and the monotone progress sum
+// (collected events + resolved searches) to the session's backpressure gate,
+// signalling its relief hook whenever progress advanced.
+func (m *Monitor) publishGauges() {
+	m.lagGauge.Store(int64(m.know.retained))
+	prog := int64(m.know.collected) + m.searchesDone
+	if prog != m.progressGauge.Load() {
+		m.progressGauge.Store(prog)
+		if m.onProgress != nil {
+			m.onProgress()
+		}
+	}
 }
 
 func (m *Monitor) gvKeys() []string {
@@ -677,7 +748,7 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 			for _, q := range gv.states.members(m.mon.NumStates()) {
 				nq := m.mon.Step(q, letter)
 				if m.mon.Final(nq) {
-					m.recordVerdictState(nq)
+					m.recordVerdictState(nq, gv.cut)
 					continue // conclusive states are absorbing: stop tracing
 				}
 				ns.set(nq)
@@ -838,6 +909,7 @@ func (m *Monitor) launchSearch(gv *globalView, q int, ids []int) {
 func (m *Monitor) closeSearch(id int64) {
 	delete(m.outstanding, id)
 	delete(m.searchOrigin, id)
+	m.searchesDone++
 	if sig, ok := m.searchSig[id]; ok {
 		delete(m.searchSig, id)
 		if m.activeSig[sig] > 0 {
@@ -848,15 +920,20 @@ func (m *Monitor) closeSearch(id int64) {
 
 // --- verdicts, finalization, termination ---
 
-func (m *Monitor) recordVerdictState(q int) {
+// recordVerdictState records a newly reached automaton verdict state; cut is
+// the consistent cut where it was detected, when a single one is known.
+func (m *Monitor) recordVerdictState(q int, cut vclock.VC) {
 	if m.verdictStates[q] {
 		return
 	}
 	m.verdictStates[q] = true
 	v := m.mon.VerdictOf(q)
 	m.verdicts[v] = true
-	if m.mon.Final(q) && m.OnConclusive != nil {
-		m.OnConclusive(v)
+	if m.OnVerdict != nil {
+		if cut != nil {
+			cut = cut.Clone()
+		}
+		m.OnVerdict(q, v, cut)
 	}
 }
 
@@ -897,11 +974,11 @@ func (m *Monitor) maybeFinalize() {
 		}
 		m.metrics.BoxExplorations++
 		m.metrics.BoxNodes += box.nodes
-		for _, q := range box.conclusive {
-			m.recordVerdictState(q)
+		for _, c := range box.conclusive {
+			m.recordVerdictState(c.q, c.cut)
 		}
 		for _, q := range box.finalStates {
-			m.recordVerdictState(q)
+			m.recordVerdictState(q, final)
 		}
 	}
 	m.finalized = true
@@ -927,13 +1004,13 @@ func (m *Monitor) maybeFinalizeReplicated() {
 	m.metrics.BoxExplorations++
 	m.metrics.BoxNodes += box.nodes
 	if m.mon.Final(m.initialQ) {
-		m.recordVerdictState(m.initialQ)
+		m.recordVerdictState(m.initialQ, vclock.New(m.cfg.N))
 	}
-	for _, q := range box.conclusive {
-		m.recordVerdictState(q)
+	for _, c := range box.conclusive {
+		m.recordVerdictState(c.q, c.cut)
 	}
 	for _, q := range box.finalStates {
-		m.recordVerdictState(q)
+		m.recordVerdictState(q, final)
 	}
 	m.finalized = true
 }
@@ -962,11 +1039,13 @@ func (m *Monitor) maybeFini() {
 		return
 	}
 	// Without finalization, a surviving inconclusive view means some traced
-	// path never concluded: report '?'.
+	// path never concluded: report '?' (through recordVerdictState so
+	// verdict subscribers see it too).
 	if !m.cfg.FinalizeFull && m.cfg.Mode == ModeDecentralized {
-		for _, gv := range m.gvs {
+		for _, key := range m.gvKeys() {
+			gv := m.gvs[key]
 			for _, q := range gv.states.members(m.mon.NumStates()) {
-				m.verdicts[m.mon.VerdictOf(q)] = true
+				m.recordVerdictState(q, gv.cut)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -33,6 +34,10 @@ type RunConfig struct {
 	Pace float64
 	// MaxBoxNodes bounds each monitor's single-region exploration.
 	MaxBoxNodes int
+	// MaxLag bounds each monitor's retained-knowledge backlog before the
+	// feeder blocks (backpressure); 0 selects DefaultMaxLag, negative
+	// disables. See SessionConfig.MaxLag.
+	MaxLag int
 }
 
 // RunResult aggregates the outcome of a run.
@@ -70,36 +75,64 @@ func (r *RunResult) VerdictList() []automaton.Verdict {
 	return out
 }
 
+// session builds the online Session a replay adapter feeds.
+func session(ctx context.Context, cfg RunConfig, pm *dist.PropMap, n int, init dist.GlobalState) (*Session, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty trace set")
+	}
+	return NewSession(ctx, SessionConfig{
+		N:            n,
+		Automaton:    cfg.Automaton,
+		Props:        pm,
+		Init:         init,
+		Mode:         cfg.Mode,
+		SkipFinalize: cfg.SkipFinalize,
+		Network:      cfg.Network,
+		MaxBoxNodes:  cfg.MaxBoxNodes,
+		MaxLag:       cfg.MaxLag,
+	})
+}
+
 // Run replays the trace set through n monitors connected by the network and
 // returns the union verdict set plus overhead metrics. It is the
 // programmatic equivalent of deploying the paper's monitors on n devices
-// and feeding them the generated trace files.
-func Run(cfg RunConfig) (*RunResult, error) {
+// and feeding them the generated trace files — a thin replay adapter over
+// the online Session engine.
+func Run(cfg RunConfig) (*RunResult, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext is Run with cancellation: cancelling ctx aborts the replay and
+// the monitors promptly.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	ts := cfg.Traces
 	if ts == nil {
 		return nil, fmt.Errorf("core: no trace set (use RunStream for event sources)")
 	}
+	s, err := session(ctx, cfg, ts.Props, ts.N(), ts.InitialState())
+	if err != nil {
+		return nil, err
+	}
 	// Feed each monitor its process's events concurrently, optionally paced
 	// by the recorded timestamps — one feeder goroutine per device, as in a
 	// real deployment.
-	feed := func(monitors []*Monitor) error {
-		var feedWG sync.WaitGroup
-		for i, tr := range ts.Traces {
-			feedWG.Add(1)
-			go func(i int, tr *dist.Trace) {
-				defer feedWG.Done()
-				prev := 0.0
-				for _, e := range tr.Events {
-					pace(cfg.Pace, e.Time, &prev)
-					monitors[i].Deliver(e)
+	feedErrs := make([]error, ts.N())
+	var feedWG sync.WaitGroup
+	for i, tr := range ts.Traces {
+		feedWG.Add(1)
+		go func(i int, tr *dist.Trace) {
+			defer feedWG.Done()
+			prev := 0.0
+			for _, e := range tr.Events {
+				pace(cfg.Pace, e.Time, &prev)
+				if err := s.Feed(e); err != nil {
+					feedErrs[i] = err
+					return
 				}
-				monitors[i].EndTrace(len(tr.Events))
-			}(i, tr)
-		}
-		feedWG.Wait()
-		return nil
+			}
+			feedErrs[i] = s.End(i)
+		}(i, tr)
 	}
-	return run(cfg, ts.Props, ts.N(), ts.InitialState(), feed)
+	feedWG.Wait()
+	return finish(s, firstError(feedErrs))
 }
 
 // RunStream is Run over an event stream: events arrive in global timestamp
@@ -108,40 +141,62 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // the trace never needs to be materialized. Verdict sets are identical to
 // Run on the equivalent trace set. cfg.Traces is ignored.
 func RunStream(src dist.EventSource, cfg RunConfig) (*RunResult, error) {
+	return RunStreamContext(context.Background(), src, cfg)
+}
+
+// RunStreamContext is RunStream with cancellation.
+func RunStreamContext(ctx context.Context, src dist.EventSource, cfg RunConfig) (*RunResult, error) {
 	if src == nil {
 		return nil, fmt.Errorf("core: nil event source")
 	}
-	n := src.N()
-	feed := func(monitors []*Monitor) error {
-		counts := make([]int, n)
-		prev := 0.0
-		var readErr error
-		for {
-			e, err := src.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				// Stop feeding but still terminate every monitor with the
-				// contiguous prefix it has: the run can wind down cleanly
-				// and the read error is reported after the monitors drain.
-				readErr = err
-				break
-			}
-			if e.Proc < 0 || e.Proc >= n {
-				readErr = fmt.Errorf("core: stream event of nonexistent process %d", e.Proc)
-				break
-			}
-			pace(cfg.Pace, e.Time, &prev)
-			monitors[e.Proc].Deliver(e)
-			counts[e.Proc]++
-		}
-		for p, m := range monitors {
-			m.EndTrace(counts[p])
-		}
-		return readErr
+	s, err := session(ctx, cfg, src.Props(), src.N(), src.Init())
+	if err != nil {
+		return nil, err
 	}
-	return run(cfg, src.Props(), n, src.Init(), feed)
+	prev := 0.0
+	var readErr error
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Stop feeding but still terminate every monitor with the
+			// contiguous prefix it has: the run can wind down cleanly
+			// and the read error is reported after the monitors drain.
+			readErr = err
+			break
+		}
+		pace(cfg.Pace, e.Time, &prev)
+		if err := s.Feed(e); err != nil {
+			readErr = err
+			break
+		}
+	}
+	return finish(s, readErr)
+}
+
+// finish closes the session (ending any process the feeder did not reach)
+// and reconciles feeder and monitor errors: a monitor failure or session
+// cancellation wins, then the feeder's own error.
+func finish(s *Session, feedErr error) (*RunResult, error) {
+	res, err := s.Close()
+	if err != nil {
+		return nil, err
+	}
+	if feedErr != nil {
+		return nil, fmt.Errorf("core: feeding monitors: %w", feedErr)
+	}
+	return res, nil
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pace sleeps the scaled gap between the previous and current simulated
@@ -155,92 +210,4 @@ func pace(factor, at float64, prev *float64) {
 		time.Sleep(d)
 	}
 	*prev = at
-}
-
-// run wires up n monitors on the network, executes the feeder, and collects
-// the union verdict set plus overhead metrics — the machinery shared by the
-// materialized and streaming entry points.
-func run(cfg RunConfig, pm *dist.PropMap, n int, init dist.GlobalState, feed func([]*Monitor) error) (*RunResult, error) {
-	if n == 0 {
-		return nil, fmt.Errorf("core: empty trace set")
-	}
-	nw := cfg.Network
-	if nw == nil {
-		nw = transport.NewChanNetwork(n)
-	}
-	defer nw.Close()
-	if nw.N() != n {
-		return nil, fmt.Errorf("core: network has %d endpoints, traces have %d processes", nw.N(), n)
-	}
-
-	start := time.Now()
-	var conclOnce sync.Once
-	var firstConcl time.Duration
-
-	monitors := make([]*Monitor, n)
-	for i := 0; i < n; i++ {
-		m, err := New(Config{
-			Index:        i,
-			N:            n,
-			Automaton:    cfg.Automaton,
-			Props:        pm,
-			Init:         init,
-			Mode:         cfg.Mode,
-			FinalizeFull: !cfg.SkipFinalize,
-			MaxBoxNodes:  cfg.MaxBoxNodes,
-		}, nw.Endpoint(i))
-		if err != nil {
-			return nil, err
-		}
-		m.OnConclusive = func(automaton.Verdict) {
-			conclOnce.Do(func() { firstConcl = time.Since(start) })
-		}
-		monitors[i] = m
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for i, m := range monitors {
-		wg.Add(1)
-		go func(i int, m *Monitor) {
-			defer wg.Done()
-			errs[i] = m.Run()
-		}(i, m)
-	}
-
-	feedErr := feed(monitors)
-	programWall := time.Since(start)
-	wg.Wait()
-	wall := time.Since(start)
-
-	if feedErr != nil {
-		return nil, fmt.Errorf("core: feeding monitors: %w", feedErr)
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: monitor %d failed: %w", i, err)
-		}
-	}
-
-	res := &RunResult{
-		Verdicts:        map[automaton.Verdict]bool{},
-		FinalStates:     map[int]bool{},
-		NetMessages:     nw.Stats().Messages(),
-		NetBytes:        nw.Stats().Bytes(),
-		FirstConclusive: firstConcl,
-		Wall:            wall,
-		ProgramWall:     programWall,
-	}
-	for _, m := range monitors {
-		vs := m.Verdicts()
-		res.PerMonitor = append(res.PerMonitor, vs)
-		for v := range vs {
-			res.Verdicts[v] = true
-		}
-		for _, s := range m.FinalStates() {
-			res.FinalStates[s] = true
-		}
-		res.Metrics = append(res.Metrics, m.Metrics())
-	}
-	return res, nil
 }

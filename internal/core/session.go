@@ -1,0 +1,478 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/transport"
+	"decentmon/internal/vclock"
+)
+
+// DefaultMaxLag is the retained-knowledge backlog (events per monitor) above
+// which Session.Feed applies backpressure. It is deliberately small: on
+// collectible workloads the backlog oscillates around it, which is what
+// keeps an unpaced replay's KnowledgePeak bounded as the trace grows.
+const DefaultMaxLag = 256
+
+// feedGrace is how long a lagging Feed waits for the pipeline to make
+// progress before concluding that the backlog is pinned by work that needs
+// future events (e.g. an unresolved reachability search) and letting the
+// event through anyway — blocking any longer would deadlock the replay.
+const feedGrace = 2 * time.Millisecond
+
+// SessionConfig parameterizes an online monitoring session.
+type SessionConfig struct {
+	// N is the number of monitored processes.
+	N int
+	// Automaton is the LTL3 monitor replicated at every process.
+	Automaton *automaton.Monitor
+	// Props binds the automaton's propositions to processes.
+	Props *dist.PropMap
+	// Init is the initial global state.
+	Init dist.GlobalState
+	// Mode selects decentralized (default) or replicated exploration.
+	Mode Mode
+	// SkipFinalize disables extending surviving views to the final cut.
+	SkipFinalize bool
+	// Network supplies the transport; if nil an in-memory network is
+	// created. The session closes the network either way.
+	Network transport.Network
+	// MaxBoxNodes bounds each monitor's single-region exploration.
+	MaxBoxNodes int
+	// MaxLag bounds each monitor's retained-knowledge backlog: Feed blocks
+	// while any monitor retains at least this many events and the pipeline
+	// is still making progress (backpressure). 0 selects DefaultMaxLag, a
+	// negative value disables backpressure. Replicated mode, which retains
+	// everything by design, never applies backpressure.
+	MaxLag int
+}
+
+// VerdictEvent is one incremental verdict detection, delivered on
+// Session.Verdicts as the execution unfolds.
+type VerdictEvent struct {
+	// Monitor is the index of the monitor process that detected it.
+	Monitor int
+	// Verdict is the three-valued evaluation result.
+	Verdict automaton.Verdict
+	// State is the automaton state reached.
+	State int
+	// Cut is the consistent cut (events per process) at which the state
+	// was detected, when a single one is known; nil otherwise.
+	Cut []int
+	// Conclusive reports whether the state is absorbing (⊤ or ⊥ on every
+	// extension); inconclusive events only appear during finalization.
+	Conclusive bool
+}
+
+// Session is an online decentralized monitoring run: n monitors wired over a
+// network, fed incrementally, reporting verdicts as they are detected.
+//
+// Feed (and End) may be called concurrently for different processes, but
+// events of one process must be fed in sequence-number order from a single
+// goroutine at a time. Verdicts delivers every detection; its buffer is
+// sized so monitors never block on a slow subscriber, and it is closed by
+// Close. Close ends every process still open, waits for the monitors to
+// finalize, and returns the terminal RunResult. Cancelling the context
+// passed to NewSession makes Feed, End and Close return promptly.
+type Session struct {
+	cfg      SessionConfig
+	maxLag   int
+	ctx      context.Context
+	cancel   context.CancelFunc
+	nw       transport.Network
+	monitors []*Monitor
+	verdicts chan VerdictEvent
+
+	wg   sync.WaitGroup
+	errs []error
+
+	start      time.Time
+	conclOnce  sync.Once
+	firstConcl time.Duration
+
+	// The backpressure gate (see admit). relief is signalled by monitors
+	// whenever their progress gauge advances.
+	relief       chan struct{}
+	gateMu       sync.Mutex
+	lastProgress int64
+	bypassLeft   int
+
+	// feedMu[p] serializes Feed(p) against End(p): End snapshots the fed
+	// count as the process's terminal total, so no Feed may be in flight
+	// past the ended check when it does. Within one process the lock is
+	// uncontended (Feed is single-goroutine per process by contract);
+	// across processes the locks are independent.
+	feedMu []sync.Mutex
+
+	// closeMu serializes Close callers: a second Close blocks until the
+	// first finishes, then returns the same cached outcome.
+	closeMu sync.Mutex
+
+	mu          sync.Mutex
+	fed         []int
+	ended       []bool
+	endedCount  int
+	programWall time.Duration
+	closed      bool
+	result      *RunResult
+	closeErr    error
+}
+
+// NewSession wires up the monitors and starts them. The session owns the
+// network (a default in-memory one when cfg.Network is nil) and closes it
+// with Close.
+func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("core: session needs at least one process")
+	}
+	if cfg.Automaton == nil {
+		return nil, fmt.Errorf("core: session needs a monitor automaton")
+	}
+	if cfg.Props == nil {
+		return nil, fmt.Errorf("core: session needs a proposition map")
+	}
+	if len(cfg.Init) != cfg.N {
+		return nil, fmt.Errorf("core: initial state has %d entries, want %d", len(cfg.Init), cfg.N)
+	}
+	nw := cfg.Network
+	if nw == nil {
+		nw = transport.NewChanNetwork(cfg.N)
+	}
+	if nw.N() != cfg.N {
+		nw.Close() // the session owns the network on every path, error paths included
+		return nil, fmt.Errorf("core: network has %d endpoints, traces have %d processes", nw.N(), cfg.N)
+	}
+	maxLag := cfg.MaxLag
+	switch {
+	case maxLag == 0:
+		maxLag = DefaultMaxLag
+	case maxLag < 0:
+		maxLag = 0
+	}
+	if cfg.Mode == ModeReplicated {
+		maxLag = 0
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		cfg:    cfg,
+		maxLag: maxLag,
+		ctx:    sctx,
+		cancel: cancel,
+		nw:     nw,
+		// recordVerdictState fires at most once per (monitor, automaton
+		// state), so this buffer can never fill: monitors never block on
+		// the subscription channel.
+		verdicts: make(chan VerdictEvent, cfg.N*cfg.Automaton.NumStates()),
+		relief:   make(chan struct{}, 1),
+		errs:     make([]error, cfg.N),
+		feedMu:   make([]sync.Mutex, cfg.N),
+		fed:      make([]int, cfg.N),
+		ended:    make([]bool, cfg.N),
+		start:    time.Now(),
+	}
+	// With backpressure on, keep the feed queue shallow: events parked in
+	// the channel are invisible to the retained-knowledge gauge the gate
+	// reads, so a deep queue would let a whole trace slip past it.
+	feedBuffer := 0
+	if maxLag > 0 {
+		feedBuffer = 16
+	}
+	for i := 0; i < cfg.N; i++ {
+		m, err := New(Config{
+			Index:        i,
+			N:            cfg.N,
+			Automaton:    cfg.Automaton,
+			Props:        cfg.Props,
+			Init:         cfg.Init,
+			Mode:         cfg.Mode,
+			FinalizeFull: !cfg.SkipFinalize,
+			MaxBoxNodes:  cfg.MaxBoxNodes,
+			FeedBuffer:   feedBuffer,
+		}, nw.Endpoint(i))
+		if err != nil {
+			cancel()
+			nw.Close()
+			return nil, err
+		}
+		idx := i
+		m.OnVerdict = func(state int, v automaton.Verdict, cut vclock.VC) {
+			s.emitVerdict(idx, state, v, cut)
+		}
+		m.onProgress = s.signalRelief
+		s.monitors = append(s.monitors, m)
+	}
+	for i, m := range s.monitors {
+		s.wg.Add(1)
+		go func(i int, m *Monitor) {
+			defer s.wg.Done()
+			err := m.Run(s.ctx)
+			s.errs[i] = err
+			if err != nil {
+				// A dead monitor dooms the run: cancel so feeders and the
+				// remaining monitors unwind instead of wedging.
+				s.cancel()
+			}
+			s.signalRelief()
+		}(i, m)
+	}
+	return s, nil
+}
+
+func (s *Session) emitVerdict(monitor, state int, v automaton.Verdict, cut vclock.VC) {
+	conclusive := s.cfg.Automaton.Final(state)
+	if conclusive {
+		s.conclOnce.Do(func() { s.firstConcl = time.Since(s.start) })
+	}
+	ev := VerdictEvent{Monitor: monitor, Verdict: v, State: state, Conclusive: conclusive}
+	if cut != nil {
+		ev.Cut = []int(cut)
+	}
+	select {
+	case s.verdicts <- ev:
+	default:
+		// Unreachable by construction (buffer covers every possible event);
+		// dropping beats blocking a monitor goroutine if it ever regresses.
+	}
+}
+
+func (s *Session) signalRelief() {
+	select {
+	case s.relief <- struct{}{}:
+	default:
+	}
+}
+
+// Verdicts returns the subscription channel: one VerdictEvent per newly
+// detected (monitor, automaton state) pair, closed by Close after the
+// terminal result is complete.
+func (s *Session) Verdicts() <-chan VerdictEvent { return s.verdicts }
+
+// N returns the number of monitored processes.
+func (s *Session) N() int { return s.cfg.N }
+
+// maxRetained is the largest retained-knowledge backlog across monitors.
+func (s *Session) maxRetained() int64 {
+	var worst int64
+	for _, m := range s.monitors {
+		if l := m.lagGauge.Load(); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// progress is the monotone sum of every monitor's collected events and
+// resolved searches — the signal that monitor round trips are keeping up.
+func (s *Session) progress() int64 {
+	var sum int64
+	for _, m := range s.monitors {
+		sum += m.progressGauge.Load()
+	}
+	return sum
+}
+
+// admit applies feeder-side backpressure: while some monitor's retained
+// knowledge is at or above the lag bound, each unit of pipeline progress (a
+// knowledge event collected, a search resolved) buys one admission, so an
+// unpaced replay is throttled to the monitors' round-trip and collection
+// rate. When no progress happens within a grace window the backlog is
+// pinned by work that needs future events (e.g. an unresolved reachability
+// search), and the gate opens for a bounded batch — memory then grows as
+// the workload inherently requires, but the replay never deadlocks.
+func (s *Session) admit() error {
+	if s.maxLag <= 0 {
+		return s.ctx.Err()
+	}
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	timer := (*time.Timer)(nil)
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		prog := s.progress()
+		if s.maxRetained() < int64(s.maxLag) {
+			// Below the bound: free admission. Keep the credit baseline
+			// current so progress made while unthrottled cannot later be
+			// spent as a burst.
+			s.lastProgress = prog
+			s.bypassLeft = 0
+			return nil
+		}
+		if prog > s.lastProgress {
+			s.lastProgress++ // consume one credit
+			s.bypassLeft = 0
+			return nil
+		}
+		if s.bypassLeft > 0 {
+			s.bypassLeft--
+			return nil
+		}
+		if timer == nil {
+			timer = time.NewTimer(feedGrace)
+		} else {
+			timer.Reset(feedGrace)
+		}
+		select {
+		case <-s.relief:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		case <-timer.C:
+			// One grace window buys a burst no larger than the lag bound,
+			// so a pinned backlog cannot flood the monitors unboundedly.
+			s.bypassLeft = s.maxLag - 1
+			return nil
+		}
+	}
+}
+
+// Feed delivers one pre-stamped event to its process's monitor, blocking
+// under backpressure (see SessionConfig.MaxLag) and returning promptly with
+// the context's error if the session is cancelled. Events of one process
+// must arrive in sequence-number order.
+func (s *Session) Feed(e *dist.Event) error {
+	if e == nil {
+		return fmt.Errorf("core: session fed a nil event")
+	}
+	if e.Proc < 0 || e.Proc >= s.cfg.N {
+		return fmt.Errorf("core: stream event of nonexistent process %d", e.Proc)
+	}
+	// Hold the process's feed lock across check→deliver→count, so a
+	// concurrent End (possibly from Close) cannot snapshot the terminal
+	// total with this event still in flight.
+	s.feedMu[e.Proc].Lock()
+	defer s.feedMu[e.Proc].Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: session closed")
+	}
+	if s.ended[e.Proc] {
+		s.mu.Unlock()
+		return fmt.Errorf("core: process %d already ended", e.Proc)
+	}
+	s.mu.Unlock()
+	if err := s.admit(); err != nil {
+		return err
+	}
+	if err := s.monitors[e.Proc].DeliverContext(s.ctx, e); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.fed[e.Proc]++
+	s.mu.Unlock()
+	return nil
+}
+
+// End marks one process as terminated; its monitor then knows no further
+// local events will arrive. Idempotent per process.
+func (s *Session) End(p int) error {
+	if p < 0 || p >= s.cfg.N {
+		return fmt.Errorf("core: ending nonexistent process %d", p)
+	}
+	s.feedMu[p].Lock()
+	defer s.feedMu[p].Unlock()
+	s.mu.Lock()
+	if s.ended[p] {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ended[p] = true
+	s.endedCount++
+	total := s.fed[p]
+	if s.endedCount == s.cfg.N {
+		s.programWall = time.Since(s.start)
+	}
+	s.mu.Unlock()
+	return s.monitors[p].EndTraceContext(s.ctx, total)
+}
+
+// Close ends every process still open, waits for the monitors to reach
+// global termination (running finalization), closes the network and the
+// verdict channel, and returns the terminal RunResult. It is idempotent; a
+// cancelled session context makes it return the context's error promptly.
+func (s *Session) Close() (*RunResult, error) {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.result, s.closeErr
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for p := 0; p < s.cfg.N; p++ {
+		s.End(p) // a cancelled context is surfaced below, not here
+	}
+	s.wg.Wait()
+	s.nw.Close()
+	res, err := s.collect()
+	s.cancel()
+	s.mu.Lock()
+	s.result, s.closeErr = res, err
+	s.mu.Unlock()
+	close(s.verdicts)
+	return res, err
+}
+
+// collect builds the terminal RunResult from the finished monitors.
+func (s *Session) collect() (*RunResult, error) {
+	wall := time.Since(s.start)
+	var ctxErr error
+	for i, err := range s.errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			// Cancellation came from outside (or from another monitor's
+			// failure, reported on its own index by this loop).
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("core: monitor %d failed: %w", i, err)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	s.mu.Lock()
+	programWall := s.programWall
+	s.mu.Unlock()
+	res := &RunResult{
+		Verdicts:        map[automaton.Verdict]bool{},
+		FinalStates:     map[int]bool{},
+		NetMessages:     s.nw.Stats().Messages(),
+		NetBytes:        s.nw.Stats().Bytes(),
+		FirstConclusive: s.firstConcl,
+		Wall:            wall,
+		ProgramWall:     programWall,
+	}
+	for _, m := range s.monitors {
+		vs := m.Verdicts()
+		res.PerMonitor = append(res.PerMonitor, vs)
+		for v := range vs {
+			res.Verdicts[v] = true
+		}
+		for _, st := range m.FinalStates() {
+			res.FinalStates[st] = true
+		}
+		res.Metrics = append(res.Metrics, m.Metrics())
+	}
+	return res, nil
+}

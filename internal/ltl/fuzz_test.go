@@ -1,0 +1,51 @@
+package ltl
+
+import "testing"
+
+// FuzzParse throws arbitrary byte strings at the parser. Two invariants:
+// the parser must never panic (it is fed attacker-adjacent input: formulas
+// arrive from the dlmon command line and from trace tooling), and for every
+// accepted input, rendering the AST and re-parsing it must reach the String
+// fixpoint — parse(s).String() parses to an identical rendering, so the
+// textual form is a faithful round-trip of the AST.
+//
+// Seeds: the paper's six case-study properties at n = 4 (hardcoded — the
+// props package imports this one) plus the Fig. 2.3 running-example formula
+// and a few operator-dense shapes.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Case-study properties A..F for four processes (§5.1).
+		"G ((P0.p && P1.p) U (P2.p && P3.p))",
+		"F (P0.p && P1.p && P2.p && P3.p)",
+		"G ((P0.p) U (P1.p && P2.p && P3.p))",
+		"G ((P0.p && P1.p && P2.p && P3.p) U (P0.q && P1.q && P2.q && P3.q))",
+		"F (P0.p && P1.p && P2.p && P3.p && P0.q && P1.q && P2.q && P3.q)",
+		"G ((P0.p U (P1.p && P2.p && P3.p)) && (P0.q U (P1.q && P2.q && P3.q)))",
+		// The running example ψ (Fig. 2.3); comparison text is legal in
+		// identifiers.
+		"G (x1>=5 -> (x2>=15 U x1=10))",
+		// Operator soup.
+		"!X F G a U b R c",
+		"(a <-> b) -> (c || !d) && true",
+		"((((p))))",
+		"F (",
+		"a b",
+		"U",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := Parse(input) // must never panic
+		if err != nil {
+			return
+		}
+		rendered := parsed.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() of a parsed formula does not re-parse: %q -> %q: %v", input, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("String round-trip not a fixpoint: %q -> %q -> %q", input, rendered, got)
+		}
+	})
+}

@@ -36,6 +36,10 @@ type ChanNetwork struct {
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
+	// stop is closed at the start of Close so drain goroutines blocked on a
+	// full inbox of an already-departed monitor (e.g. after a session's
+	// context was cancelled) unblock instead of wedging Close forever.
+	stop chan struct{}
 }
 
 type chanEndpoint struct {
@@ -50,7 +54,7 @@ func NewChanNetwork(n int, opts ...ChanOption) *ChanNetwork {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	nw := &ChanNetwork{n: n, queues: map[[2]int]*unboundedQueue{}}
+	nw := &ChanNetwork{n: n, queues: map[[2]int]*unboundedQueue{}, stop: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		nw.eps = append(nw.eps, &chanEndpoint{id: i, net: nw, inbox: make(chan Message, 1024)})
 	}
@@ -87,7 +91,16 @@ func (nw *ChanNetwork) drain(q *unboundedQueue, inbox chan<- Message, cfg chanCo
 				time.Sleep(d)
 			}
 		}
-		inbox <- m
+		select {
+		case inbox <- m:
+			continue
+		default:
+		}
+		select {
+		case inbox <- m:
+		case <-nw.stop:
+			return
+		}
 	}
 }
 
@@ -100,7 +113,10 @@ func (nw *ChanNetwork) N() int { return nw.n }
 // Stats returns the network counters.
 func (nw *ChanNetwork) Stats() *Stats { return &nw.stats }
 
-// Close drains all pair queues and closes every inbox.
+// Close shuts the network down and closes every inbox. Messages still in
+// flight when Close begins may be dropped: endpoints whose monitors have
+// already exited (normal termination, or a cancelled session) no longer
+// drain their inboxes, and Close must not block on them.
 func (nw *ChanNetwork) Close() error {
 	nw.mu.Lock()
 	if nw.closed {
@@ -112,6 +128,7 @@ func (nw *ChanNetwork) Close() error {
 	for _, q := range nw.queues {
 		q.close()
 	}
+	close(nw.stop)
 	nw.wg.Wait()
 	for _, ep := range nw.eps {
 		close(ep.inbox)

@@ -24,6 +24,9 @@ type TCPNetwork struct {
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+	// stop is closed at the start of Close so read loops blocked on a full
+	// inbox of an already-departed monitor unblock instead of wedging Close.
+	stop chan struct{}
 }
 
 type tcpEndpoint struct {
@@ -37,7 +40,7 @@ type tcpEndpoint struct {
 // NewTCPNetwork builds a fully connected loopback network of n endpoints on
 // ephemeral ports.
 func NewTCPNetwork(n int) (*TCPNetwork, error) {
-	nw := &TCPNetwork{n: n}
+	nw := &TCPNetwork{n: n, stop: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		nw.eps = append(nw.eps, &tcpEndpoint{
 			id:    i,
@@ -134,7 +137,11 @@ func (nw *TCPNetwork) readLoop(ep *tcpEndpoint, from int, conn net.Conn) {
 		if closed {
 			return
 		}
-		ep.inbox <- Message{From: from, To: ep.id, Payload: payload}
+		select {
+		case ep.inbox <- Message{From: from, To: ep.id, Payload: payload}:
+		case <-nw.stop:
+			return
+		}
 	}
 }
 
@@ -156,6 +163,7 @@ func (nw *TCPNetwork) Close() error {
 	}
 	nw.closed = true
 	nw.mu.Unlock()
+	close(nw.stop)
 	for _, ep := range nw.eps {
 		for _, c := range ep.conns {
 			if c != nil {

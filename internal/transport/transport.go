@@ -39,8 +39,10 @@ type Endpoint interface {
 type Network interface {
 	Endpoint(i int) Endpoint
 	N() int
-	// Close shuts the network down and closes all inboxes after all
-	// in-flight messages have been delivered.
+	// Close shuts the network down and closes all inboxes. Messages still
+	// in flight when Close begins are delivered on a best-effort basis:
+	// endpoints nobody drains any more (their monitor exited, normally or
+	// on cancellation) may drop them — Close never blocks on a dead reader.
 	Close() error
 	Stats() *Stats
 }

@@ -1,0 +1,313 @@
+package decentmon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+	"time"
+
+	"decentmon/internal/dist"
+)
+
+// replayThroughHandles drives a recorded trace set through a live session's
+// Process handles in global timestamp order: sends yield tokens consumed by
+// the matching receives, exactly as a real application would wire them. The
+// stamper recomputes every clock — equality with the replay entry points
+// shows the live path and the recorded path are the same machine.
+func replayThroughHandles(t *testing.T, s *Session, ts *TraceSet) {
+	t.Helper()
+	src := ts.Stream()
+	handles := make([]*Process, ts.N())
+	for i := range handles {
+		handles[i] = s.Process(i)
+	}
+	tokens := map[int]MsgToken{}
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := handles[e.Proc]
+		switch e.Type {
+		case dist.Internal:
+			err = h.Internal(e.State)
+		case dist.Send:
+			var tok MsgToken
+			tok, err = h.Send(e.Peer, e.State)
+			tokens[e.MsgID] = tok
+		case dist.Recv:
+			tok, ok := tokens[e.MsgID]
+			if !ok {
+				t.Fatalf("recv of message %d before its send", e.MsgID)
+			}
+			err = h.Recv(tok, e.State)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range handles {
+		if err := h.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func verdictKey(m map[Verdict]bool) string {
+	var parts []string
+	for v := range m {
+		parts = append(parts, v.String())
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// TestSessionEqualsRunOnRunningExample: the live-handle session reproduces
+// the replay verdict set on the paper's running example.
+func TestSessionEqualsRunOnRunningExample(t *testing.T) {
+	ts := RunningExample()
+	spec := MustCompile(RunningExampleProperty, ts.Props)
+	want, err := Run(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(spec, ts.N(), WithInitialState(ts.InitialState()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayThroughHandles(t, s, ts)
+	got, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdictKey(got.Verdicts) != verdictKey(want.Verdicts) {
+		t.Errorf("session verdicts %v != replay %v", got.VerdictList(), want.VerdictList())
+	}
+}
+
+// TestSessionEqualsRunAcrossPropertiesAndTopologies is the redesign's
+// equivalence acceptance: for all six case-study properties and every
+// communication topology, a live-handle session produces exactly the
+// verdict set of the replay entry points (which the oracle tests pin).
+func TestSessionEqualsRunAcrossPropertiesAndTopologies(t *testing.T) {
+	topos := []Topology{TopoUniform, TopoRing, TopoStar, TopoBroadcast, TopoClustered}
+	for _, topo := range topos {
+		ts := Generate(GenConfig{
+			N: 3, InternalPerProc: 6,
+			CommMu: 2, CommSigma: 0.5,
+			Topology:  topo,
+			TrueProbs: map[string]float64{"p": 0.4, "q": 0.4},
+			PlantGoal: true, Seed: 11,
+		})
+		for _, name := range []string{"A", "B", "C", "D", "E", "F"} {
+			f, err := CaseStudyProperty(name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := MustCompile(f, ts.Props)
+			want, err := Run(spec, ts)
+			if err != nil {
+				t.Fatalf("topo %v prop %s replay: %v", topo, name, err)
+			}
+			s, err := NewSession(spec, ts.N(), WithInitialState(ts.InitialState()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayThroughHandles(t, s, ts)
+			got, err := s.Close()
+			if err != nil {
+				t.Fatalf("topo %v prop %s session: %v", topo, name, err)
+			}
+			if verdictKey(got.Verdicts) != verdictKey(want.Verdicts) {
+				t.Errorf("topo %v prop %s: session %v != replay %v",
+					topo, name, got.VerdictList(), want.VerdictList())
+			}
+		}
+	}
+}
+
+// TestSessionLiveVerdictSubscription drives a tiny live execution and reads
+// the conclusive detection off the channel before Close.
+func TestSessionLiveVerdictSubscription(t *testing.T) {
+	spec := MustCompile("F (P0.p && P1.p)", PerProcessProps(2, "p"))
+	s, err := NewSession(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := s.Process(0), s.Process(1)
+	if err := p0.Internal(1); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := p0.Send(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Recv(tok, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Both propositions hold at the cut (2,1): some monitor must prove ⊤
+	// online, before the execution even ends.
+	select {
+	case ev := <-s.Verdicts():
+		if ev.Verdict != Top || !ev.Conclusive {
+			t.Errorf("first event %+v, want conclusive ⊤", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no verdict event before close")
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts[Top] {
+		t.Errorf("terminal verdicts %v missing ⊤", res.VerdictList())
+	}
+}
+
+// TestSessionCancellationFacade: cancelling the WithContext context returns
+// from handle calls and Close promptly (run under -race in CI).
+func TestSessionCancellationFacade(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := MustCompile("F (P0.p && P1.p)", PerProcessProps(2, "p"))
+	s, err := NewSession(spec, 2, WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Process(0).Internal(1); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Close()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Close after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after cancellation")
+	}
+}
+
+// TestBoundedSession: the Bounded engine behind RunBounded, driven live.
+func TestBoundedSession(t *testing.T) {
+	spec := MustCompile("F (P0.p && P1.p)", PerProcessProps(2, "p"))
+	s, err := NewSession(spec, 2, Bounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := s.Process(0), s.Process(1)
+	if err := p0.Internal(1); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := p0.Send(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Recv(tok, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := <-s.Verdicts()
+	if !ok || ev.Verdict != Top {
+		t.Fatalf("bounded session event %+v ok=%v, want ⊤", ev, ok)
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts[Top] || len(res.Verdicts) != 1 {
+		t.Errorf("bounded verdicts %v, want exactly ⊤", res.VerdictList())
+	}
+	// Idempotent close.
+	if res2, err := s.Close(); err != nil || res2 != res {
+		t.Error("second Close diverged")
+	}
+}
+
+// TestRunBoundedMatchesPath: RunBounded (now a Bounded-session adapter)
+// still produces an oracle-member verdict and honors options.
+func TestRunBoundedMatchesPath(t *testing.T) {
+	ts := Generate(GenConfig{N: 3, InternalPerProc: 6, CommMu: 2, PlantGoal: true, Seed: 4})
+	spec := MustCompile("F (P0.p && P1.p && P2.p)", ts.Props)
+	res, err := RunBounded(spec, ts.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Oracle(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.VerdictSet()[res.Verdict] {
+		t.Errorf("path verdict %v outside oracle set %v", res.Verdict, oracle.Verdicts)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBounded(spec, ts.Stream(), WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunBounded = %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionOptionValidation: incompatible combinations fail loudly.
+func TestSessionOptionValidation(t *testing.T) {
+	spec := MustCompile("F (P0.p && P1.p)", PerProcessProps(2, "p"))
+	ts := Generate(GenConfig{N: 2, InternalPerProc: 3, CommMu: 2, Seed: 1})
+
+	if _, err := Run(spec, ts, Bounded()); err == nil {
+		t.Error("Run accepted Bounded()")
+	}
+	if _, err := RunStream(spec, ts.Stream(), Bounded()); err == nil {
+		t.Error("RunStream accepted Bounded()")
+	}
+	if _, err := NewSession(spec, 2, Bounded(), Replicated()); err == nil {
+		t.Error("bounded session accepted Replicated()")
+	}
+	if _, err := RunBounded(spec, ts.Stream(), WithNetwork(NewChanNetwork(2))); err == nil {
+		t.Error("RunBounded accepted WithNetwork()")
+	}
+	if _, err := RunBounded(spec, ts.Stream(), WithPace(1)); err == nil {
+		t.Error("RunBounded accepted WithPace()")
+	}
+	if _, err := RunBounded(spec, ts.Stream(), WithMaxLag(10)); err == nil {
+		t.Error("RunBounded accepted WithMaxLag()")
+	}
+	if _, err := RunBounded(spec, ts.Stream(), WithInitialState(GlobalState{0, 0})); err == nil {
+		t.Error("RunBounded accepted WithInitialState()")
+	}
+	if _, err := Run(spec, ts, WithInitialState(GlobalState{0, 0})); err == nil {
+		t.Error("Run accepted WithInitialState()")
+	}
+	if _, err := NewSession(spec, 2, WithPace(1)); err == nil {
+		t.Error("NewSession accepted WithPace()")
+	}
+	if _, err := NewSession(spec, 2, WithInitialState(GlobalState{1})); err == nil {
+		t.Error("mis-sized initial state accepted")
+	}
+	if _, err := NewSession(spec, 1); err == nil {
+		t.Error("session smaller than the proposition space accepted")
+	}
+	if _, err := NewSession(nil, 2); err == nil {
+		t.Error("nil spec accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Process(9) did not panic")
+			}
+		}()
+		s, err := NewSession(spec, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.Process(9)
+	}()
+}
