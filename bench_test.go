@@ -299,6 +299,71 @@ func BenchmarkOracleDP(b *testing.B) {
 	}
 }
 
+// benchOracleMode times one tractable oracle on a 16-process execution
+// with an arity-3 property — the regime the exact DP cannot reach at all
+// (its lattice there has ~10¹⁵ cuts).
+func benchOracleMode(b *testing.B, cfg lattice.OracleConfig) {
+	mon, pm, err := props.BuildAt("B", 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := dist.Generate(dist.GenConfig{
+		N: 16, InternalPerProc: 6, CommMu: 6, CommSigma: 1,
+		Topology: dist.TopoRing, PlantGoal: true, Seed: 1,
+		TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+	}).WithProps(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int64(ts.TotalEvents())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lattice.EvaluateOracle(ts, mon, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NumCuts), "cuts/op")
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkOracleSliced16(b *testing.B) {
+	benchOracleMode(b, lattice.OracleConfig{Mode: lattice.ModeSliced})
+}
+
+func BenchmarkOracleSampling16(b *testing.B) {
+	benchOracleMode(b, lattice.OracleConfig{Mode: lattice.ModeSampling, MaxFrontier: 256, Seed: 1})
+}
+
+// BenchmarkDecentralizedRun16 measures the first decentralized size the
+// exact oracle kept dark: 16 monitors, arity-3 property, detection only.
+func BenchmarkDecentralizedRun16(b *testing.B) {
+	mon, pm, err := props.BuildAt("B", 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := dist.Generate(dist.GenConfig{
+		N: 16, InternalPerProc: 4, CommMu: 6, CommSigma: 1,
+		Topology: dist.TopoRing, PlantGoal: true, Seed: 1,
+		TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+	}).WithProps(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int64(ts.TotalEvents())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verdicts[automaton.Top] {
+			b.Fatal("goal verdict lost")
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkCentralMonitor measures the online centralized baseline.
 func BenchmarkCentralMonitor(b *testing.B) {
 	ts := dist.Generate(dist.GenConfig{

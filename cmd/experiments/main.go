@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +20,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.4, fig5.5, fig5.6, fig5.7, fig5.8, fig5.9, baselines, all")
-		events = flag.Int("events", 15, "internal events per process")
-		seeds  = flag.Int("seeds", 3, "replications to average")
-		pace   = flag.Float64("pace", 0, "real-time replay scale for delay metrics (e.g. 2e-4)")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.4, fig5.5, fig5.6, fig5.7, fig5.8, fig5.9, baselines, oracle, all")
+		events     = flag.Int("events", 15, "internal events per process")
+		seeds      = flag.Int("seeds", 3, "replications to average")
+		pace       = flag.Float64("pace", 0, "real-time replay scale for delay metrics (e.g. 2e-4)")
+		oracleJSON = flag.String("oracle-json", "", "with -exp oracle: also write the sweep as JSON to this file (the CI BENCH_oracle.json record)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,17 @@ func main() {
 			check(err)
 			fmt.Println("== Fig 5.9: communication frequency sweep (property C, 4 processes) ==")
 			fmt.Println(experiments.RenderCommFreq(cells))
+		case "oracle":
+			cells, err := experiments.OracleSweep(cfg)
+			check(err)
+			fmt.Println("== Oracle cost: exact vs sliced vs sampling, properties B and D ==")
+			fmt.Println(experiments.RenderOracleCells(cells))
+			if *oracleJSON != "" {
+				buf, err := json.MarshalIndent(cells, "", "  ")
+				check(err)
+				check(os.WriteFile(*oracleJSON, append(buf, '\n'), 0o644))
+				fmt.Printf("wrote %s (%d rows)\n", *oracleJSON, len(cells))
+			}
 		case "baselines":
 			fmt.Println("== Baselines: decentralized vs replicated vs centralized ==")
 			var rows []*experiments.BaselineRow

@@ -25,8 +25,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"decentmon/internal/dist"
+	"decentmon/internal/lattice"
+	"decentmon/internal/props"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -52,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "random seed")
 		out      = fs.String("o", "", "output file (.json, .jsonl, .dmtb or .gob); stdout JSON if empty")
 		format   = fs.String("format", "", "force a streaming codec ("+strings.Join(dist.CodecNames(), " or ")+") regardless of the output extension")
+		caseProp = fs.String("case", "", "with -oracle: the case-study property (A..F) to certify the trace against")
+		arity    = fs.Int("arity", 0, "with -case: property arity (0 = all processes; smaller keeps the oracle tractable at any -n)")
+		oracleM  = fs.String("oracle", "", "after generating, print this oracle's verdict set for -case over the trace: exact, sliced or sampling (materializes the trace — keep -events moderate)")
+		frontier = fs.Int("frontier", 0, "sampling oracle: per-rank frontier bound (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -127,6 +134,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		codec, streaming = c, true
 	}
+	if *oracleM != "" && *caseProp == "" {
+		fmt.Fprintln(stderr, "tracegen: -oracle needs -case")
+		return 2
+	}
 	if streaming {
 		sw, err := dist.CreateStreamCodec(codec, *out, cfg.Props(), cfg.InitState())
 		if err != nil {
@@ -143,6 +154,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "streamed %d processes, %d events to %s (%s)\n", cfg.N, sw.Events(), *out, codec.Name())
+		// The certification pass needs the materialized set; the generator
+		// is deterministic, so re-generating reproduces the streamed trace.
+		if *oracleM != "" {
+			return certify(dist.Generate(cfg), *caseProp, *arity, *oracleM, *frontier, *seed, stdout, stderr)
+		}
 		return 0
 	}
 
@@ -156,12 +172,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tracegen:", err)
 			return 1
 		}
-		return 0
+	} else {
+		if err := ts.SaveFile(*out); err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d processes, %d events to %s\n", ts.N(), ts.TotalEvents(), *out)
 	}
-	if err := ts.SaveFile(*out); err != nil {
+	if *oracleM != "" {
+		return certify(ts, *caseProp, *arity, *oracleM, *frontier, *seed, stdout, stderr)
+	}
+	return 0
+}
+
+// certify evaluates the selected oracle for a case-study property over the
+// generated trace and prints the ground-truth verdict set, so shipped
+// traces carry a known answer.
+func certify(ts *dist.TraceSet, caseProp string, arity int, oracleM string, frontier int, seed int64, stdout, stderr io.Writer) int {
+	mode, err := lattice.ParseMode(oracleM)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	if arity == 0 {
+		arity = ts.N()
+	}
+	if arity < 2 || arity > ts.N() {
+		fmt.Fprintf(stderr, "tracegen: -arity must be between 2 and %d, got %d\n", ts.N(), arity)
+		return 2
+	}
+	mon, pm, err := props.BuildAt(caseProp, arity, false)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	bound, err := ts.WithProps(pm)
+	if err != nil {
 		fmt.Fprintln(stderr, "tracegen:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "wrote %d processes, %d events to %s\n", ts.N(), ts.TotalEvents(), *out)
+	start := time.Now()
+	res, err := lattice.EvaluateOracle(bound, mon, lattice.OracleConfig{Mode: mode, MaxFrontier: frontier, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	contract := "exact verdict set"
+	if !res.Complete {
+		contract = "sound subset"
+	}
+	fmt.Fprintf(stdout, "oracle %s %s/%d: %v over %d cuts in %v (%s)\n",
+		res.Mode, caseProp, arity, res.Verdicts, res.NumCuts, time.Since(start).Round(time.Millisecond), contract)
 	return 0
 }

@@ -196,3 +196,39 @@ func TestDuplicateSuffixesRejected(t *testing.T) {
 		t.Errorf("exit %d stderr %q, want duplicate-suffix error", code, stderr)
 	}
 }
+
+func TestOracleCertification(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.json")
+	code, stdout, stderr := runCLI(t,
+		"-n", "8", "-events", "4", "-topo", "ring", "-commmu", "6", "-truep", "0.9",
+		"-plant", "-seed", "7", "-o", out, "-case", "B", "-arity", "3", "-oracle", "sliced")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "oracle sliced B/3") || !strings.Contains(stdout, "exact verdict set") {
+		t.Errorf("certification line missing: %q", stdout)
+	}
+	// The streamed path re-generates deterministically and certifies too.
+	code, stdout, stderr = runCLI(t,
+		"-n", "4", "-events", "3", "-seed", "2", "-o", filepath.Join(dir, "t.jsonl"),
+		"-case", "E", "-oracle", "sampling", "-frontier", "16")
+	if code != 0 {
+		t.Fatalf("streamed certify: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "oracle sampling E/4") || !strings.Contains(stdout, "sound subset") {
+		t.Errorf("streamed certification line missing: %q", stdout)
+	}
+}
+
+func TestOracleFlagValidation(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-n", "3", "-oracle", "sliced"); code != 2 || !strings.Contains(stderr, "-case") {
+		t.Errorf("-oracle without -case: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-n", "3", "-case", "B", "-oracle", "nope"); code != 2 || !strings.Contains(stderr, "unknown oracle mode") {
+		t.Errorf("bad mode: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-n", "3", "-case", "B", "-arity", "9", "-oracle", "exact"); code != 2 || !strings.Contains(stderr, "-arity") {
+		t.Errorf("bad arity: exit %d, stderr %q", code, stderr)
+	}
+}

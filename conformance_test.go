@@ -1,0 +1,433 @@
+package decentmon
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"decentmon/internal/central"
+)
+
+// The cross-engine conformance gauntlet: every engine of the repository —
+// the decentralized monitors, the replicated-broadcast baseline, the
+// centralized monitor, the bounded single-path evaluator and the live
+// Session — must agree with the oracle family on the six case-study
+// properties across the five communication topologies at n ∈ {2, 5, 8, 16}.
+//
+// Ground truth per size:
+//
+//   - n ≤ 5: the exact full-lattice DP, with the sliced and sampling
+//     oracles cross-validated against it;
+//   - n ≥ 8: the sliced oracle over a reduced-arity property instance
+//     (arity 3, so the slice is exact) — the full lattice has ~10¹⁵ cuts
+//     there and full-width monitors are not even synthesizable.
+//
+// Engine coverage per size:
+//
+//   - n ≤ 5: all engines. The exhaustive engines (replicated broadcast,
+//     centralized) must reproduce the oracle verdict set exactly; the
+//     decentralized engine and the live Session must be *sound* (every
+//     reported verdict in the oracle set) and *conclusive-complete*
+//     (⊤/⊥ match the oracle exactly — the paper's Chapter-3 claim).
+//     Finalized ?-reporting is sound but not guaranteed complete: the
+//     finalize pass extends only views that survived a monitor's own cut
+//     chain, so an inconclusive path avoiding every chain can go
+//     unreported (first exhibited by this gauntlet at D/ring/n=5; see
+//     ROADMAP).
+//   - n ≥ 8: decentralized (finalization-free: the finalize pass explores
+//     an n-dimensional box and is intractable by construction at n = 16),
+//     bounded path and live Session; conclusive verdicts must match the
+//     oracle exactly, the replicated and centralized baselines are
+//     inherently full-lattice and stay at n ≤ 5.
+//
+// Cells are seeded; -short trims the matrix (two topologies, n ≤ 8).
+
+type gauntletCell struct {
+	prop  string
+	n     int
+	arity int // < n uses the reduced-arity instance + sliced oracle
+	topo  Topology
+	seed  int64
+	// qDrift lowers the q truth probability so the □-family properties
+	// violate (exercises ⊥ agreement at large n).
+	qDrift bool
+}
+
+func gauntletCells(short bool) []gauntletCell {
+	topos := []Topology{TopoUniform, TopoRing, TopoStar, TopoBroadcast, TopoClustered}
+	if short {
+		topos = []Topology{TopoUniform, TopoRing}
+	}
+	var cells []gauntletCell
+	props := []string{"A", "B", "C", "D", "E", "F"}
+	for _, n := range []int{2, 5} {
+		for _, p := range props {
+			for _, topo := range topos {
+				cells = append(cells, gauntletCell{prop: p, n: n, arity: n, topo: topo, seed: 2015})
+			}
+		}
+	}
+	n8props, n8topos := props, topos
+	if short {
+		n8props, n8topos = []string{"B", "D"}, []Topology{TopoRing}
+	}
+	for _, p := range n8props {
+		for _, topo := range n8topos {
+			cells = append(cells, gauntletCell{prop: p, n: 8, arity: 3, topo: topo, seed: 2015})
+		}
+	}
+	if !short {
+		// Star and broadcast hubs make every clock causally dense at n=16
+		// (the search boxes then span most of the 16-dimensional lattice),
+		// and uniform unicast at that size costs ~1.5s per engine run; those
+		// three topologies are exercised at n ≤ 8, n=16 pins ring and
+		// clustered.
+		for _, p := range props {
+			for _, topo := range []Topology{TopoRing, TopoClustered} {
+				cells = append(cells, gauntletCell{prop: p, n: 16, arity: 3, topo: topo, seed: 2015})
+			}
+		}
+		// Violation cells: q drifts false, the until obligations break, the
+		// engines must all report ⊥.
+		for _, p := range []string{"D", "F"} {
+			for _, n := range []int{8, 16} {
+				cells = append(cells, gauntletCell{prop: p, n: n, arity: 3, topo: TopoRing, seed: 2015, qDrift: true})
+			}
+		}
+	}
+	return cells
+}
+
+// gauntletGen is the workload regime of one cell. Large-n cells keep the
+// searches resolvable: high truth probabilities and moderate communication
+// keep the goal cuts causally thin, which is what bounds the monitors' box
+// explorations (see the calibration notes in README).
+func (c gauntletCell) gen() GenConfig {
+	cfg := GenConfig{
+		N: c.n, InternalPerProc: 6,
+		EvtMu: 3, EvtSigma: 1, CommMu: 3, CommSigma: 1,
+		Topology: c.topo, PlantGoal: true, Seed: c.seed,
+	}
+	if c.topo == TopoClustered {
+		cfg.Clusters = 2
+		if c.n >= 8 {
+			cfg.Clusters = 4
+		}
+		cfg.CrossProb = 0.1
+	}
+	if c.n >= 8 {
+		cfg.InternalPerProc = 4
+		cfg.CommMu = 6
+	}
+	switch {
+	case c.qDrift:
+		cfg.TrueProbs = map[string]float64{"p": 0.9, "q": 0.35}
+		cfg.InitTrue = []string{"p"}
+	case c.prop == "B" || c.prop == "E":
+		cfg.TrueProbs = map[string]float64{"p": 0.6, "q": 0.5}
+		if c.n >= 8 {
+			cfg.TrueProbs = map[string]float64{"p": 0.9, "q": 0.8}
+		}
+	default:
+		cfg.TrueProbs = map[string]float64{"p": 0.9, "q": 0.9}
+		cfg.InitTrue = []string{"p", "q"}
+	}
+	return cfg
+}
+
+func verdictSetString(set map[Verdict]bool) string {
+	out := ""
+	for _, v := range []Verdict{Top, Bottom, Unknown} {
+		if set[v] {
+			out += v.String()
+		}
+	}
+	return out
+}
+
+func conclusives(set map[Verdict]bool) string {
+	out := ""
+	for _, v := range []Verdict{Top, Bottom} {
+		if set[v] {
+			out += v.String()
+		}
+	}
+	return out
+}
+
+// checkSoundConclusiveComplete pins the decentralized contract against a
+// complete oracle: every reported verdict is in the oracle set (soundness,
+// ? included) and the conclusive verdicts match exactly.
+func checkSoundConclusiveComplete(t *testing.T, engine string, got map[Verdict]bool, oracle *OracleResult) {
+	t.Helper()
+	for v := range got {
+		if !oracle.HasVerdict(v) {
+			t.Errorf("%s: UNSOUND verdict %v outside oracle set %v", engine, v, oracle.Verdicts)
+		}
+	}
+	if g, w := conclusives(got), conclusives(oracle.VerdictSet()); g != w {
+		t.Errorf("%s: conclusive %q != oracle %q", engine, g, w)
+	}
+}
+
+// feedSession replays a stream through a live Session and returns the
+// terminal result plus the conclusive verdicts observed on the
+// subscription channel.
+func feedSession(t *testing.T, spec *Spec, ts *TraceSet, opts ...Option) (*RunResult, map[Verdict]bool) {
+	t.Helper()
+	sess, err := NewSession(spec, ts.N(), append(opts, WithInitialState(ts.InitialState()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := map[Verdict]bool{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range sess.Verdicts() {
+			if ev.Conclusive {
+				observed[ev.Verdict] = true
+			}
+		}
+	}()
+	src := ts.Stream()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return res, observed
+}
+
+// gauntletSpecs caches compiled specs across cells — synthesis of the big
+// full-width machines (D and F at n=5 have 63 and 85 paper-shape states)
+// dominates a cell otherwise, and every topology reuses the same spec.
+var gauntletSpecs = map[string]*Spec{}
+
+func gauntletSpec(t *testing.T, prop string, arity int) *Spec {
+	t.Helper()
+	key := fmt.Sprintf("%s/%d", prop, arity)
+	if s, ok := gauntletSpecs[key]; ok {
+		return s
+	}
+	s, err := CaseStudySpecAt(prop, arity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauntletSpecs[key] = s
+	return s
+}
+
+func TestConformanceGauntlet(t *testing.T) {
+	short := testing.Short()
+	// Verdict variety across the matrix: a gauntlet whose ground truth
+	// degenerates to one verdict pins nothing; all three LTL3 verdicts must
+	// be exercised somewhere (full matrix only).
+	variety := map[Verdict]bool{}
+	for _, cell := range gauntletCells(short) {
+		cell := cell
+		name := fmt.Sprintf("%s/n%d/a%d/%v/seed%d", cell.prop, cell.n, cell.arity, cell.topo, cell.seed)
+		if cell.qDrift {
+			name += "/qdrift"
+		}
+		t.Run(name, func(t *testing.T) {
+			spec := gauntletSpec(t, cell.prop, cell.arity)
+			ts, err := Generate(cell.gen()).WithProps(spec.Props)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var oracle *OracleResult
+			if cell.n <= 5 {
+				oracle = conformSmall(t, spec, ts)
+			} else {
+				oracle = conformLarge(t, spec, ts)
+			}
+			for v := range oracle.VerdictSet() {
+				variety[v] = true
+			}
+		})
+	}
+	if !short && !t.Failed() {
+		for _, v := range []Verdict{Top, Bottom, Unknown} {
+			if !variety[v] {
+				t.Errorf("gauntlet matrix never exercises verdict %v", v)
+			}
+		}
+	}
+}
+
+// conformSmall checks every engine against the exact oracle (equality for
+// the exhaustive engines, sound + conclusive-complete for the
+// decentralized ones) and cross-validates the tractable oracles against
+// the DP.
+func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
+	oracle, err := Oracle(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verdictSetString(oracle.VerdictSet())
+
+	dec, err := Run(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSoundConclusiveComplete(t, "decentralized", dec.Verdicts, oracle)
+	rep, err := Run(spec, ts, Replicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := verdictSetString(rep.Verdicts); got != want {
+		t.Errorf("replicated %s != oracle %s", got, want)
+	}
+	cen, err := central.Run(ts, spec.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := verdictSetString(cen.Verdicts); got != want {
+		t.Errorf("centralized %s != oracle %s", got, want)
+	}
+	path, err := RunBounded(spec, ts.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.HasVerdict(path.Verdict) {
+		t.Errorf("bounded path verdict %v outside oracle set %s", path.Verdict, want)
+	}
+	sess, observed := feedSession(t, spec, ts)
+	checkSoundConclusiveComplete(t, "session", sess.Verdicts, oracle)
+	for v := range observed {
+		if !oracle.HasVerdict(v) {
+			t.Errorf("session emitted conclusive %v outside oracle set %s", v, want)
+		}
+	}
+
+	sliced, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := verdictSetString(sliced.VerdictSet()); got != want {
+		t.Errorf("sliced oracle %s != exact %s", got, want)
+	}
+	sampled, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSampling, MaxFrontier: 64, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sampled.VerdictSet() {
+		if !oracle.HasVerdict(v) {
+			t.Errorf("sampled verdict %v outside exact set %s", v, want)
+		}
+	}
+	return oracle
+}
+
+// conformLarge checks the streaming-scale engines against the sliced
+// oracle: detection-time (finalization-free) conclusive verdicts must match
+// it exactly, and the bounded path must stay inside its set.
+func conformLarge(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
+	oracle, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.Complete {
+		t.Fatal("sliced oracle not complete — support exceeds arity?")
+	}
+	wantConc := conclusives(oracle.VerdictSet())
+
+	dec, err := Run(spec, ts, WithoutFinalization())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := conclusives(dec.Verdicts); got != wantConc {
+		t.Errorf("decentralized conclusive %q != oracle %q (oracle set %v)", got, wantConc, oracle.Verdicts)
+	}
+	path, err := RunBounded(spec, ts.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.HasVerdict(path.Verdict) {
+		t.Errorf("bounded path verdict %v outside oracle set %v", path.Verdict, oracle.Verdicts)
+	}
+	sess, observed := feedSession(t, spec, ts, WithoutFinalization())
+	if got := conclusives(sess.Verdicts); got != wantConc {
+		t.Errorf("session conclusive %q != oracle %q", got, wantConc)
+	}
+	for v := range observed {
+		if !oracle.HasVerdict(v) {
+			t.Errorf("session emitted conclusive %v outside oracle set %v", v, oracle.Verdicts)
+		}
+	}
+	sampled, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSampling, MaxFrontier: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sampled.VerdictSet() {
+		if v != Unknown && !oracle.HasVerdict(v) {
+			t.Errorf("sampled verdict %v outside sliced set %v", v, oracle.Verdicts)
+		}
+	}
+	return oracle
+}
+
+// TestLargeNDecentralizedSlicedCrossCheck lights up the sizes the exact
+// oracle kept dark: decentralized runs at n ∈ {8, 16, 32} cross-checked
+// against the sliced oracle. n = 32 uses the single-suffix proposition
+// space (two suffixes would overflow the 32-bit letter encoding), so only
+// the pure-p properties run there.
+func TestLargeNDecentralizedSlicedCrossCheck(t *testing.T) {
+	cells := []struct {
+		n     int
+		props []string
+	}{
+		{8, []string{"A", "B", "C", "D", "E", "F"}},
+		{16, []string{"A", "B", "C", "D", "E", "F"}},
+		{32, []string{"A", "B", "C"}},
+	}
+	for _, cell := range cells {
+		if testing.Short() && cell.n > 8 {
+			continue
+		}
+		for _, prop := range cell.props {
+			t.Run(fmt.Sprintf("n%d/%s", cell.n, prop), func(t *testing.T) {
+				spec, err := CaseStudySpecAt(prop, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := GenConfig{
+					N: cell.n, InternalPerProc: 4,
+					EvtMu: 3, EvtSigma: 1, CommMu: 6, CommSigma: 1,
+					Topology: TopoRing, PlantGoal: true, Seed: 7,
+					TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+				}
+				if 2*cell.n > 32 {
+					cfg.Suffixes = []string{"p"}
+				}
+				ts, err := Generate(cfg).WithProps(spec.Props)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSliced})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(spec, ts, WithoutFinalization())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := conclusives(res.Verdicts), conclusives(oracle.VerdictSet()); got != want {
+					t.Errorf("n=%d %s: run conclusive %q != sliced oracle %q", cell.n, prop, got, want)
+				}
+			})
+		}
+	}
+}

@@ -39,6 +39,11 @@
 // Soundness and completeness can be checked against the oracle:
 //
 //	oracle, _ := decentmon.Oracle(spec, traces)  // exact verdict set over all lattice paths
+//
+// Past the exact oracle's ~5-process reach, the sliced and sampling
+// oracles (EvaluateOracle) pair with reduced-arity properties
+// (CaseStudySpecAt + (*TraceSet).WithProps) to cross-check systems of
+// 8–32 processes.
 package decentmon
 
 import (
@@ -100,6 +105,10 @@ type (
 	MonitorMetrics = core.Metrics
 	// OracleResult is the ground-truth evaluation of an execution.
 	OracleResult = lattice.Result
+	// OracleMode selects the oracle implementation (exact, sliced, sampling).
+	OracleMode = lattice.Mode
+	// OracleConfig selects and tunes an oracle (see EvaluateOracle).
+	OracleConfig = lattice.OracleConfig
 	// Network is a monitor communication substrate.
 	Network = transport.Network
 )
@@ -109,6 +118,17 @@ const (
 	Top     = automaton.Top     // ⊤: every extension satisfies the property
 	Bottom  = automaton.Bottom  // ⊥: every extension violates it
 	Unknown = automaton.Unknown // ?: inconclusive
+)
+
+// The oracle modes of the pluggable oracle family (EvaluateOracle): the
+// exact full-lattice DP, the support-projected sliced oracle (exact for
+// ○-free properties, tractable at any system size when the property's
+// alphabet touches few processes), and the seeded bounded-frontier sampling
+// oracle (a sound subset of the exact verdict set).
+const (
+	OracleExact    = lattice.ModeExact
+	OracleSliced   = lattice.ModeSliced
+	OracleSampling = lattice.ModeSampling
 )
 
 // The communication topologies of the workload generator.
@@ -257,10 +277,11 @@ type (
 )
 
 type options struct {
-	ctx     context.Context
-	cfg     core.RunConfig
-	init    GlobalState
-	bounded bool
+	ctx      context.Context
+	cfg      core.RunConfig
+	init     GlobalState
+	bounded  bool
+	validate bool
 }
 
 func buildOptions(opts []Option) options {
@@ -324,6 +345,19 @@ func WithInitialState(init GlobalState) Option {
 	return func(o *options) { o.init = init.Clone() }
 }
 
+// WithValidation rejects mis-wired events at the session boundary: every
+// event fed (through Feed or the Process handles) is checked against the
+// session's causal contract — contiguous per-process sequence numbers,
+// monotone clocks that never reference unseen events, per-process monotone
+// timestamps, and send/receive pairing with no message-id reuse — before it
+// reaches the monitors. This catches forged or replayed Recv tokens, tokens
+// from a different session, and out-of-order handle use, which the internal
+// stamper alone cannot see. Sessions only; replays are validated by the
+// trace codecs.
+func WithValidation() Option {
+	return func(o *options) { o.validate = true }
+}
+
 // Bounded switches NewSession to the single-path evaluator: the property is
 // evaluated along the feed order's lattice path in O(n) memory (the engine
 // behind RunBounded and dlmon -bounded). The verdict is always a member of
@@ -341,6 +375,9 @@ func (o *options) checkReplay(entry string) error {
 	}
 	if o.init != nil {
 		return fmt.Errorf("decentmon: %s takes the initial state from the trace header; WithInitialState applies to NewSession", entry)
+	}
+	if o.validate {
+		return fmt.Errorf("decentmon: %s replays codec-validated traces; WithValidation applies to NewSession", entry)
 	}
 	return nil
 }
@@ -418,6 +455,9 @@ func RunBounded(spec *Spec, src EventSource, opts ...Option) (*PathResult, error
 	if o.init != nil {
 		return nil, fmt.Errorf("decentmon: RunBounded takes the initial state from the stream header; WithInitialState applies to NewSession")
 	}
+	if o.validate {
+		return nil, fmt.Errorf("decentmon: RunBounded replays codec-validated streams; WithValidation applies to NewSession")
+	}
 	s, err := newSession(spec, src.N(), options{ctx: o.ctx, init: src.Init(), bounded: true})
 	if err != nil {
 		return nil, err
@@ -448,12 +488,57 @@ func RunBounded(spec *Spec, src EventSource, opts ...Option) (*PathResult, error
 
 // Oracle computes the exact verdict set over every path of the execution's
 // computation lattice (Chapter 3) — the ground truth that a sound and
-// complete decentralized run must reproduce.
+// complete decentralized run must reproduce. For executions too wide for
+// the full lattice, see EvaluateOracle.
 func Oracle(spec *Spec, ts *TraceSet) (*OracleResult, error) {
+	return EvaluateOracle(spec, ts, OracleConfig{})
+}
+
+// EvaluateOracle runs the selected oracle over the execution: OracleExact
+// is the Chapter-3 DP, OracleSliced projects the lattice onto the
+// property's support processes (same verdict set for ○-free properties at
+// the cost of a |support|-process oracle), and OracleSampling explores a
+// seeded bounded frontier whose verdicts are a sound subset of the exact
+// set (OracleResult.Complete reports which contract holds).
+func EvaluateOracle(spec *Spec, ts *TraceSet, cfg OracleConfig) (*OracleResult, error) {
 	if err := checkSpecTraces(spec, ts); err != nil {
 		return nil, err
 	}
-	return lattice.Evaluate(ts, spec.mon)
+	return lattice.EvaluateOracle(ts, spec.mon, cfg)
+}
+
+// ParseOracleMode parses an oracle mode name ("exact", "sliced",
+// "sampling").
+func ParseOracleMode(s string) (OracleMode, error) { return lattice.ParseMode(s) }
+
+// CaseStudySpecAt compiles the named case-study property at the given
+// arity: the formula is the arity-process instance, bound to the
+// PerProcess(arity, ...) proposition space of exactly the suffixes it uses.
+// Pair it with (*TraceSet).WithProps or SourceWithProps to monitor a system
+// of n >= arity processes — the enabler for n >= 8 runs, where full-width
+// properties are no longer synthesizable and the exact oracle is
+// intractable, but an arity-k property keeps both the monitor and the
+// sliced oracle at k-process cost.
+func CaseStudySpecAt(name string, arity int, opts ...CompileOption) (*Spec, error) {
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, pm, err := props.BuildAt(name, arity, cfg.paperShape)
+	if err != nil {
+		return nil, err
+	}
+	formula, err := props.Formula(name, arity)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{Formula: formula, Props: pm, mon: mon}, nil
+}
+
+// SourceWithProps re-binds an event stream to a smaller proposition space
+// (see CaseStudySpecAt); events pass through unchanged.
+func SourceWithProps(src EventSource, pm *PropMap) (EventSource, error) {
+	return dist.SourceWithProps(src, pm)
 }
 
 // NewChanNetwork returns an in-memory monitor network for n processes.

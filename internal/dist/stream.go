@@ -272,13 +272,20 @@ func (tr *TraceReader) Close() error { return nil }
 // consecutive ids every writer in this repository emits — independent of
 // how many events have passed through.
 type streamValidator struct {
-	n         int
-	counts    []int       // events seen per process
-	prevVC    []vclock.VC // last clock seen per process
-	prevTime  float64
-	inflight  map[int]streamSend // msgID -> pending send
-	used      intervalSet        // msgIDs of messages already delivered
-	delivered int64
+	n        int
+	counts   []int       // events seen per process
+	prevVC   []vclock.VC // last clock seen per process
+	prevTime float64
+	// perProcTime relaxes the global timestamp-order check to per-process
+	// monotonicity (prevTimes): a live session's handles stamp wall-clock
+	// times concurrently, so the *feed* order interleaves timestamps of
+	// different processes arbitrarily while every causal check still
+	// applies. Stream codecs keep the strict global ordering.
+	perProcTime bool
+	prevTimes   []float64
+	inflight    map[int]streamSend // msgID -> pending send
+	used        intervalSet        // msgIDs of messages already delivered
+	delivered   int64
 }
 
 type streamSend struct {
@@ -325,7 +332,11 @@ func (v *streamValidator) check(e *Event) error {
 	if math.IsNaN(e.Time) {
 		return fmt.Errorf("process %d event %d has a NaN timestamp", p, e.SN)
 	}
-	if e.Time < v.prevTime {
+	if v.perProcTime {
+		if e.Time < v.prevTimes[p] {
+			return fmt.Errorf("process %d event %d timestamp %v precedes its predecessor's %v", p, e.SN, e.Time, v.prevTimes[p])
+		}
+	} else if e.Time < v.prevTime {
 		return fmt.Errorf("process %d event %d timestamp %v out of order (stream at %v)", p, e.SN, e.Time, v.prevTime)
 	}
 	for j := 0; j < v.n; j++ {
@@ -372,10 +383,92 @@ func (v *streamValidator) check(e *Event) error {
 	}
 	v.counts[p] = e.SN
 	v.prevVC[p] = e.VC
-	v.prevTime = e.Time
+	if v.perProcTime {
+		v.prevTimes[p] = e.Time
+	} else {
+		v.prevTime = e.Time
+	}
 	v.delivered++
 	return nil
 }
+
+// Validator is the exported incremental trace validator: the same machinery
+// the streaming codecs run on every decoded event, reusable at other trust
+// boundaries (decentmon.WithValidation applies it to a live session's feed).
+// Its state is O(n²) plus one record per in-flight message, independent of
+// how many events have passed.
+type Validator struct{ v *streamValidator }
+
+// NewValidator returns a validator enforcing the full streaming contract:
+// a globally timestamp-ordered linearization of a well-formed computation
+// (contiguous sequence numbers, monotone clocks, causal delivery, paired
+// sends and receives, no message-id reuse).
+func NewValidator(n int) *Validator {
+	return &Validator{v: newStreamValidator(n)}
+}
+
+// NewSessionValidator returns a validator for live-session feeds: identical
+// to NewValidator except that timestamps are only required to be monotone
+// per process — concurrent handles stamp wall-clock times, so the feed
+// order interleaves processes' timestamps arbitrarily. Every causal check
+// (receives after their sends, clocks never referencing unseen events)
+// still applies, which is what catches mis-wired or replayed Recv tokens
+// and out-of-order handle use.
+func NewSessionValidator(n int) *Validator {
+	v := newStreamValidator(n)
+	v.perProcTime = true
+	v.prevTimes = make([]float64, n)
+	return &Validator{v: v}
+}
+
+// Check validates one event against everything seen so far; on error the
+// event is rejected and the validator state is unchanged. Not safe for
+// concurrent use — callers serialize (the session option wraps it in its
+// feed path).
+func (va *Validator) Check(e *Event) error {
+	if e == nil {
+		return fmt.Errorf("dist: validating a nil event")
+	}
+	return va.v.check(e)
+}
+
+// CheckToken verifies that process p could consume the message token right
+// now: the message is in flight from its claimed sender to p, and the
+// token's clock references only events already validated. Sessions run this
+// *before* stamping a Recv — a Stamper merges the token's clock into the
+// process's own irreversibly, so a forged token must be rejected while the
+// stamper is still untouched. Read-only; same serialization rule as Check.
+func (va *Validator) CheckToken(p int, tok MsgToken) error {
+	v := va.v
+	if p < 0 || p >= v.n {
+		return fmt.Errorf("dist: token presented by nonexistent process %d", p)
+	}
+	s, ok := v.inflight[tok.ID]
+	if !ok {
+		if v.used.contains(tok.ID) {
+			return fmt.Errorf("dist: process %d presents message %d already delivered", p, tok.ID)
+		}
+		return fmt.Errorf("dist: process %d presents message %d never sent", p, tok.ID)
+	}
+	if s.proc != tok.From {
+		return fmt.Errorf("dist: token names sender %d, message %d was sent by %d", tok.From, tok.ID, s.proc)
+	}
+	if s.dest != p {
+		return fmt.Errorf("dist: process %d consumes message %d addressed to process %d", p, tok.ID, s.dest)
+	}
+	if len(tok.VC) != v.n {
+		return fmt.Errorf("dist: message %d token has a %d-entry clock, want %d", tok.ID, len(tok.VC), v.n)
+	}
+	for j, c := range tok.VC {
+		if c > v.counts[j] {
+			return fmt.Errorf("dist: message %d token clock %v references event %d of process %d not yet seen", tok.ID, tok.VC, c, j)
+		}
+	}
+	return nil
+}
+
+// Events returns the number of events validated so far.
+func (va *Validator) Events() int64 { return va.v.delivered }
 
 // intervalSet stores a set of ints as sorted disjoint [lo, hi] ranges.
 // Message ids are assigned consecutively by the generator, so delivered-id

@@ -12,11 +12,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/central"
 	"decentmon/internal/core"
 	"decentmon/internal/dist"
+	"decentmon/internal/lattice"
 	"decentmon/internal/props"
 )
 
@@ -40,6 +42,20 @@ type Config struct {
 	// the default.
 	MinimalAutomata bool
 	Pace            float64 // real-time replay scale for delay experiments
+	// PropArity instantiates the properties at a reduced arity (their
+	// alphabet then touches only the first PropArity processes); 0 keeps
+	// the paper's full-width instantiation. Required beyond ~5 processes,
+	// where full-width monitors stop being synthesizable.
+	PropArity int
+	// WithOracle runs the configured oracle on every measured execution
+	// and fills the Cell's oracle-cost and cross-check columns.
+	WithOracle bool
+	// OracleMode selects the oracle for WithOracle (default exact; use
+	// sliced beyond 5 processes — with PropArity set it stays exact).
+	OracleMode lattice.Mode
+	// OracleFrontier / OracleSeed tune the sampling oracle.
+	OracleFrontier int
+	OracleSeed     int64
 }
 
 func (c Config) withDefaults() Config {
@@ -158,20 +174,52 @@ type Cell struct {
 	KnowledgePeak float64
 	// Verdicts observed (union across monitors), for sanity reporting.
 	Verdicts string
+	// Oracle columns, filled when Config.WithOracle is set: the average
+	// explored-lattice size and wall time of the configured oracle, its
+	// verdict set, and whether the run agreed with it on every seed
+	// (conclusive-set equality against a complete oracle, or — for the
+	// sampling oracle — every sampled conclusive verdict present in the
+	// run's set).
+	OracleCuts     float64
+	OracleWallMs   float64
+	OracleVerdicts string
+	OracleAgree    bool
+}
+
+// buildProperty synthesizes the monitor for one measurement: the paper's
+// full-width instance by default, or — with cfg.PropArity — the reduced-
+// arity instance together with the sub-space the traces must be re-bound
+// to.
+func buildProperty(property string, n int, cfg Config) (*automaton.Monitor, *dist.PropMap, error) {
+	if cfg.PropArity == 0 || cfg.PropArity >= n {
+		mon, err := props.Build(property, n, !cfg.MinimalAutomata)
+		return mon, nil, err
+	}
+	return props.BuildAt(property, cfg.PropArity, !cfg.MinimalAutomata)
 }
 
 // Measure runs the decentralized algorithm for one property at one size
 // over the config's seeds and returns the averaged cell.
 func Measure(property string, n int, cfg Config) (*Cell, error) {
 	cfg = cfg.withDefaults()
-	mon, err := props.Build(property, n, !cfg.MinimalAutomata)
+	mon, pm, err := buildProperty(property, n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	cell := &Cell{Property: property, N: n}
+	cell := &Cell{Property: property, N: n, OracleAgree: true}
 	verdicts := map[automaton.Verdict]bool{}
+	oracleVerdicts := map[automaton.Verdict]bool{}
 	for _, seed := range cfg.Seeds {
-		ts := dist.Generate(genConfig(property, n, seed, cfg))
+		gc := genConfig(property, n, seed, cfg)
+		if err := gc.Check(); err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", property, n, err)
+		}
+		ts := dist.Generate(gc)
+		if pm != nil {
+			if ts, err = ts.WithProps(pm); err != nil {
+				return nil, err
+			}
+		}
 		res, err := core.Run(core.RunConfig{
 			Traces:       ts,
 			Automaton:    mon,
@@ -180,6 +228,23 @@ func Measure(property string, n int, cfg Config) (*Cell, error) {
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s n=%d seed=%d: %w", property, n, seed, err)
+		}
+		if cfg.WithOracle {
+			t0 := time.Now()
+			ores, err := lattice.EvaluateOracle(ts, mon, lattice.OracleConfig{
+				Mode: cfg.OracleMode, MaxFrontier: cfg.OracleFrontier, Seed: cfg.OracleSeed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d seed=%d oracle: %w", property, n, seed, err)
+			}
+			cell.OracleWallMs += float64(time.Since(t0)) / float64(time.Millisecond)
+			cell.OracleCuts += float64(ores.NumCuts)
+			for _, v := range ores.Verdicts {
+				oracleVerdicts[v] = true
+			}
+			if !oracleAgrees(res.Verdicts, ores) {
+				cell.OracleAgree = false
+			}
 		}
 		cell.Events += float64(ts.TotalEvents())
 		cell.Messages += float64(res.NetMessages)
@@ -215,13 +280,48 @@ func Measure(property string, n int, cfg Config) (*Cell, error) {
 	cell.DelayedEvents /= k
 	cell.DelayPct /= k
 	cell.KnowledgePeak /= k
+	cell.OracleCuts /= k
+	cell.OracleWallMs /= k
+	cell.Verdicts = verdictString(verdicts)
+	cell.OracleVerdicts = verdictString(oracleVerdicts)
+	return cell, nil
+}
+
+func verdictString(set map[automaton.Verdict]bool) string {
 	var vs []string
-	for v := range verdicts {
+	for v := range set {
 		vs = append(vs, v.String())
 	}
 	sort.Strings(vs)
-	cell.Verdicts = strings.Join(vs, ",")
-	return cell, nil
+	return strings.Join(vs, ",")
+}
+
+// oracleAgrees cross-checks a finalization-free run against an oracle
+// result: conclusive verdicts must match a complete oracle exactly
+// (detection-only runs are still conclusive-complete, the Chapter-3 claim),
+// while an incomplete (sampling) oracle can only witness — every conclusive
+// verdict it found must appear in the run's set.
+func oracleAgrees(run map[automaton.Verdict]bool, ores *lattice.Result) bool {
+	oconc := map[automaton.Verdict]bool{}
+	for _, v := range ores.Verdicts {
+		if v != automaton.Unknown {
+			oconc[v] = true
+		}
+	}
+	for v := range oconc {
+		if !run[v] {
+			return false
+		}
+	}
+	if !ores.Complete {
+		return true
+	}
+	for _, v := range []automaton.Verdict{automaton.Top, automaton.Bottom} {
+		if run[v] && !oconc[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // genConfig reproduces the paper's "designed" traces (§5.1), which differ by
@@ -242,6 +342,12 @@ func genConfig(property string, n int, seed int64, cfg Config) dist.GenConfig {
 		Topology: cfg.Topology, Clusters: cfg.Clusters, CrossProb: cfg.CrossProb,
 		PlantGoal: true,
 		Seed:      seed,
+	}
+	// Beyond 16 processes the two-suffix space overflows the 32-bit letter
+	// encoding; fall back to the single p suffix (q propositions of a
+	// reduced-arity property then read constantly false).
+	if 2*n > dist.MaxProps {
+		gc.Suffixes = []string{"p"}
 	}
 	switch property {
 	case "B", "E":
@@ -399,6 +505,112 @@ func sameVerdicts(a, b map[automaton.Verdict]bool) bool {
 		}
 	}
 	return true
+}
+
+// --- oracle cost sweep (the BENCH_oracle.json trajectory) ---
+
+// OracleCell is one row of the oracle-cost sweep: one oracle mode on one
+// property at one size, averaged over the config's seeds. The CI bench job
+// serializes these rows as BENCH_oracle.json so the perf trajectory of the
+// oracle family is machine-readable.
+type OracleCell struct {
+	Mode         string  `json:"mode"`
+	Property     string  `json:"property"`
+	N            int     `json:"n"`
+	Arity        int     `json:"arity"` // property arity (equals N when full width)
+	Events       float64 `json:"events"`
+	Cuts         float64 `json:"cuts"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Verdicts     string  `json:"verdicts"`
+	Complete     bool    `json:"complete"`
+}
+
+// OracleSweep measures every oracle mode across its tractable sizes on one
+// reachability and one safety property (B and D): the exact DP up to the
+// paper's 5 processes, the sliced and sampling oracles up to 16. Seeds are
+// averaged like Measure.
+func OracleSweep(cfg Config) ([]*OracleCell, error) {
+	cfg = cfg.withDefaults()
+	plan := []struct {
+		mode  lattice.Mode
+		ns    []int
+		arity int // 0 = full width
+	}{
+		{lattice.ModeExact, []int{2, 3, 4, 5}, 0},
+		{lattice.ModeSliced, []int{5, 8, 16}, 3},
+		{lattice.ModeSampling, []int{5, 8, 16}, 3},
+	}
+	var out []*OracleCell
+	for _, property := range []string{"B", "D"} {
+		for _, p := range plan {
+			for _, n := range p.ns {
+				c := cfg
+				c.PropArity = p.arity
+				c.OracleMode = p.mode
+				cell, err := measureOracle(property, n, c)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// measureOracle times the configured oracle alone (no decentralized run)
+// for one property at one size.
+func measureOracle(property string, n int, cfg Config) (*OracleCell, error) {
+	cfg = cfg.withDefaults()
+	mon, pm, err := buildProperty(property, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arity := n
+	if cfg.PropArity > 0 && cfg.PropArity < n {
+		arity = cfg.PropArity
+	}
+	cell := &OracleCell{Mode: cfg.OracleMode.String(), Property: property, N: n, Arity: arity}
+	verdicts := map[automaton.Verdict]bool{}
+	complete := true
+	var wall time.Duration
+	for _, seed := range cfg.Seeds {
+		gc := genConfig(property, n, seed, cfg)
+		if err := gc.Check(); err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", property, n, err)
+		}
+		ts := dist.Generate(gc)
+		if pm != nil {
+			if ts, err = ts.WithProps(pm); err != nil {
+				return nil, err
+			}
+		}
+		t0 := time.Now()
+		res, err := lattice.EvaluateOracle(ts, mon, lattice.OracleConfig{
+			Mode: cfg.OracleMode, MaxFrontier: cfg.OracleFrontier, Seed: cfg.OracleSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s n=%d seed=%d: %w", property, n, seed, err)
+		}
+		wall += time.Since(t0)
+		cell.Events += float64(ts.TotalEvents())
+		cell.Cuts += float64(res.NumCuts)
+		complete = complete && res.Complete
+		for _, v := range res.Verdicts {
+			verdicts[v] = true
+		}
+	}
+	k := float64(len(cfg.Seeds))
+	cell.Events /= k
+	cell.Cuts /= k
+	cell.WallSeconds = wall.Seconds() / k
+	if cell.WallSeconds > 0 {
+		cell.EventsPerSec = cell.Events / cell.WallSeconds
+	}
+	cell.Verdicts = verdictString(verdicts)
+	cell.Complete = complete
+	return cell, nil
 }
 
 // Log10 is a small helper for rendering the paper's log-scale figures.

@@ -43,7 +43,11 @@ func EvaluateHybrid(ts *dist.TraceSet, mon *automaton.Monitor, eps float64) (*Re
 	start.states.set(q0)
 	index[start.cut.Key()] = start
 
-	res := &Result{NumCuts: 1, FirstConclusiveRank: -1}
+	// Finite ε explores a strict sub-lattice of the causal one, so the
+	// verdicts are a sound subset of the causal-exact set (Complete only
+	// when the timed pruning is disabled); Result.Complete refers to the
+	// causal execution, the object every other oracle evaluates.
+	res := &Result{Mode: ModeExact, Complete: math.IsInf(eps, 1), NumCuts: 1, FirstConclusiveRank: -1}
 	if mon.Final(q0) {
 		res.FirstConclusiveRank = 0
 	}

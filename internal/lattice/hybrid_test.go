@@ -41,6 +41,19 @@ func TestHybridInfinityEqualsCausal(t *testing.T) {
 	if len(hybrid.Verdicts) != len(causal.Verdicts) {
 		t.Errorf("eps=inf verdicts %v != causal %v", hybrid.Verdicts, causal.Verdicts)
 	}
+	// Result.Complete refers to the causal execution: true only when the
+	// timed pruning is disabled — a finite ε explores a sub-lattice whose
+	// verdicts are merely a sound subset.
+	if !hybrid.Complete {
+		t.Error("eps=inf result not marked complete")
+	}
+	finite, err := EvaluateHybrid(ts, mon, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finite.Complete {
+		t.Error("finite-eps result marked complete despite exploring a sub-lattice")
+	}
 }
 
 // TestHybridZeroIsTotalOrder: with ε = 0 (perfect clocks and distinct

@@ -26,7 +26,18 @@ import (
 
 // Result summarizes the oracle evaluation of one execution.
 type Result struct {
-	// NumCuts and NumEdges are the size of the computation lattice.
+	// Mode identifies the oracle implementation that produced the result.
+	Mode Mode
+	// Complete reports whether Verdicts is the exact verdict set of the
+	// execution (exact and sliced oracles) or only a sound subset of it
+	// (the sampling oracle, Equation 3.1 direction only).
+	Complete bool
+	// SupportProcs are the processes the lattice was sliced to (sorted);
+	// nil for the unprojected oracles.
+	SupportProcs []int
+	// NumCuts and NumEdges are the size of the explored lattice (the full
+	// computation lattice for the exact oracle, the projected lattice for
+	// the sliced one, the surviving frontier total for sampling).
 	NumCuts, NumEdges int
 	// MaxWidth is the largest number of consistent cuts in one rank layer —
 	// a measure of how much concurrency the execution exhibits.
@@ -86,13 +97,44 @@ func Evaluate(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
 	if err := checkProps(ts, mon); err != nil {
 		return nil, err
 	}
+	procs := make([]int, ts.N())
+	for i := range procs {
+		procs[i] = i
+	}
+	res, err := evalProjected(ts, mon, procs)
+	if err != nil {
+		return nil, err
+	}
+	res.Mode, res.Complete = ModeExact, true
+	return res, nil
+}
+
+// evalProjected runs the layered DP over the sub-lattice spanned by the
+// given processes: cuts are |procs|-vectors, and an event of procs[i] may
+// extend a cut iff its causal history *restricted to procs* is contained in
+// it (vector clocks are transitive, so causality routed through projected-
+// away processes is still enforced). With procs covering every process this
+// is exactly the Chapter-3 DP over the full computation lattice.
+func evalProjected(ts *dist.TraceSet, mon *automaton.Monitor, procs []int) (*Result, error) {
 	n := ts.N()
+	k := len(procs)
+	// fullCut materializes a projected cut back into the n-process space so
+	// the global-state letter can be read; projected-away processes stay at
+	// their initial valuation, which cannot matter — the projection is only
+	// sound when they own no proposition the monitor depends on.
+	fullCut := func(cut vclock.VC) vclock.VC {
+		fc := vclock.New(n)
+		for i, p := range procs {
+			fc[p] = cut[i]
+		}
+		return fc
+	}
 	type node struct {
-		cut    vclock.VC
+		cut    vclock.VC // length k, indexed like procs
 		states stateset
 	}
 	index := map[string]*node{}
-	start := &node{cut: vclock.New(n), states: newStateset(mon.NumStates())}
+	start := &node{cut: vclock.New(k), states: newStateset(mon.NumStates())}
 	// The automaton consumes the initial global state first (§4.2 INIT).
 	q0 := mon.Step(mon.Initial(), ts.Props.Letter(ts.InitialState()))
 	start.states.set(q0)
@@ -105,20 +147,19 @@ func Evaluate(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
 
 	queue := []*node{start}
 	layerWidth := map[int]int{0: 1}
-	final := ts.FinalCut()
 	for len(queue) > 0 {
 		nd := queue[0]
 		queue = queue[1:]
-		for i := 0; i < n; i++ {
-			if nd.cut[i] >= len(ts.Traces[i].Events) {
+		for i, p := range procs {
+			if nd.cut[i] >= len(ts.Traces[p].Events) {
 				continue
 			}
 			next := nd.cut.Clone()
 			next[i]++
 			// The new cut is consistent iff the newly added event's causal
-			// history is contained in it.
-			ev := ts.Traces[i].Events[next[i]-1]
-			if !ev.VC.LessEq(next) {
+			// history (projected to procs) is contained in it.
+			ev := ts.Traces[p].Events[next[i]-1]
+			if !projLessEq(ev.VC, next, procs) {
 				continue
 			}
 			res.NumEdges++
@@ -133,7 +174,7 @@ func Evaluate(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
 			}
 			// Advance every reachable automaton state over the successor's
 			// global state.
-			letter := ts.Props.Letter(ts.StateAtCut(next))
+			letter := ts.Props.Letter(ts.StateAtCut(fullCut(next)))
 			for st := 0; st < mon.NumStates(); st++ {
 				if !nd.states.has(st) {
 					continue
@@ -151,22 +192,45 @@ func Evaluate(ts *dist.TraceSet, mon *automaton.Monitor) (*Result, error) {
 			res.MaxWidth = w
 		}
 	}
+	final := vclock.New(k)
+	for i, p := range procs {
+		final[i] = len(ts.Traces[p].Events)
+	}
 	fin, ok := index[final.Key()]
 	if !ok {
 		return nil, fmt.Errorf("lattice: final cut %v unreachable — trace set inconsistent", final)
 	}
+	res.FinalStates, res.Verdicts = collectVerdicts(mon, fin.states)
+	return res, nil
+}
+
+// projLessEq reports vc[p] <= cut[i] for every projected process p=procs[i].
+func projLessEq(vc vclock.VC, cut vclock.VC, procs []int) bool {
+	for i, p := range procs {
+		if vc[p] > cut[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectVerdicts lists the states of a stateset ascending and their
+// distinct verdict labels in first-seen order.
+func collectVerdicts(mon *automaton.Monitor, states stateset) ([]int, []automaton.Verdict) {
+	var sts []int
+	var verdicts []automaton.Verdict
 	seenV := map[automaton.Verdict]bool{}
 	for st := 0; st < mon.NumStates(); st++ {
-		if fin.states.has(st) {
-			res.FinalStates = append(res.FinalStates, st)
+		if states.has(st) {
+			sts = append(sts, st)
 			v := mon.VerdictOf(st)
 			if !seenV[v] {
 				seenV[v] = true
-				res.Verdicts = append(res.Verdicts, v)
+				verdicts = append(verdicts, v)
 			}
 		}
 	}
-	return res, nil
+	return sts, verdicts
 }
 
 // CountCuts returns the number of consistent cuts (lattice nodes) of the

@@ -287,6 +287,20 @@ func (f *Formula) Props() []string {
 	return names
 }
 
+// HasNext reports whether the formula contains the ○ (next) operator.
+// LTL without ○ is stutter-invariant (Lamport), which is the soundness
+// precondition of lattice slicing: inserting or deleting repeated letters
+// cannot change the verdict of a ○-free property.
+func (f *Formula) HasNext() bool {
+	has := false
+	f.walk(func(g *Formula) {
+		if g.Kind == KNext {
+			has = true
+		}
+	})
+	return has
+}
+
 // Size returns the number of AST nodes.
 func (f *Formula) Size() int {
 	n := 0

@@ -99,6 +99,56 @@ func Build(name string, n int, paperShape bool) (*automaton.Monitor, error) {
 	return automaton.Build(f, pm.Names)
 }
 
+// Suffixes returns the per-process proposition suffixes the named property
+// actually uses: A, B and C are pure-p properties, D, E and F need q too.
+func Suffixes(name string) ([]string, error) {
+	switch name {
+	case "A", "B", "C":
+		return []string{"p"}, nil
+	case "D", "E", "F":
+		return []string{"p", "q"}, nil
+	}
+	return nil, fmt.Errorf("props: unknown property %q", name)
+}
+
+// BuildAt synthesizes the named property at the given arity — the property's
+// alphabet then touches only processes 0..arity-1 of a possibly much larger
+// system — and returns the monitor together with the proposition space it is
+// bound to (PerProcess(arity, Suffixes(name)...), so only the propositions
+// the formula can mention). Pair the result with (*dist.TraceSet).WithProps
+// or dist.SourceWithProps to monitor an n-process execution, n >= arity,
+// whose local states follow the PerProcess bit layout.
+//
+// This is what makes large systems monitorable and oracle-checkable: letters
+// are bitmasks over the proposition space, so full-width properties stop
+// being synthesizable beyond ~12 processes, while an arity-k property keeps
+// both the monitor and the sliced oracle at k-process cost regardless of n.
+func BuildAt(name string, arity int, paperShape bool) (*automaton.Monitor, *dist.PropMap, error) {
+	fs, err := Formula(name, arity)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := ltl.Parse(fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	suf, err := Suffixes(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm := dist.PerProcess(arity, suf...)
+	var mon *automaton.Monitor
+	if paperShape {
+		mon, err = automaton.BuildProgression(f, pm.Names)
+	} else {
+		mon, err = automaton.Build(f, pm.Names)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return mon, pm, nil
+}
+
 // SortedNames returns a copy of Names (defensive, for range stability).
 func SortedNames() []string {
 	out := append([]string(nil), Names...)

@@ -144,3 +144,62 @@ func TestProgressionAgainstMinimalRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestSuffixesPerProperty(t *testing.T) {
+	for _, name := range []string{"A", "B", "C"} {
+		suf, err := Suffixes(name)
+		if err != nil || len(suf) != 1 || suf[0] != "p" {
+			t.Errorf("%s: suffixes %v, %v (want [p])", name, suf, err)
+		}
+	}
+	for _, name := range []string{"D", "E", "F"} {
+		suf, err := Suffixes(name)
+		if err != nil || len(suf) != 2 || suf[0] != "p" || suf[1] != "q" {
+			t.Errorf("%s: suffixes %v, %v (want [p q])", name, suf, err)
+		}
+	}
+	if _, err := Suffixes("Z"); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestBuildAt(t *testing.T) {
+	for _, name := range Names {
+		mon, pm, err := BuildAt(name, 3, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The proposition space is exactly the property's own alphabet
+		// shape: every formula proposition declared, owners 0..arity-1.
+		want, _ := Formula(name, 3)
+		f, err := ltl.Parse(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		declared := map[string]bool{}
+		for i, p := range pm.Names {
+			declared[p] = true
+			if pm.Owner[i] < 0 || pm.Owner[i] >= 3 {
+				t.Errorf("%s: prop %s owned by %d, want < 3", name, p, pm.Owner[i])
+			}
+		}
+		for _, p := range f.Props() {
+			if !declared[p] {
+				t.Errorf("%s: formula proposition %s not in BuildAt's space", name, p)
+			}
+		}
+		if len(mon.Props) != pm.Len() {
+			t.Errorf("%s: monitor has %d props, space %d", name, len(mon.Props), pm.Len())
+		}
+		// The paper-shape variant must synthesize too.
+		if _, _, err := BuildAt(name, 3, true); err != nil {
+			t.Errorf("%s paper shape: %v", name, err)
+		}
+	}
+	if _, _, err := BuildAt("A", 1, false); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, _, err := BuildAt("Z", 3, false); err == nil {
+		t.Error("unknown property accepted")
+	}
+}

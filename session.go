@@ -36,6 +36,11 @@ type Session struct {
 	stamper *dist.Stamper
 	start   time.Time
 
+	// val, when WithValidation is set, checks every fed event against the
+	// session's causal contract before it reaches the engine.
+	val   *dist.Validator
+	valMu sync.Mutex
+
 	// Exactly one engine is non-nil.
 	core *core.Session
 	path *central.PathMonitor
@@ -92,6 +97,9 @@ func newSession(spec *Spec, n int, o options) (*Session, error) {
 		return nil, fmt.Errorf("decentmon: sessions are live, not replays; WithPace applies to Run and RunStream")
 	}
 	s := &Session{spec: spec, n: n, stamper: dist.NewStamper(n), start: time.Now()}
+	if o.validate {
+		s.val = dist.NewSessionValidator(n)
+	}
 	if o.bounded {
 		if err := o.checkBounded("a Bounded session"); err != nil {
 			return nil, err
@@ -156,11 +164,42 @@ func (s *Session) now() float64 { return time.Since(s.start).Seconds() }
 // engine the feed as a whole must also be causally ordered (handles
 // guarantee this by construction; timestamp-ordered replays satisfy it).
 // Feed blocks under backpressure and returns promptly on cancellation.
+// With WithValidation, events violating the session's causal contract are
+// rejected here, before they reach the engine.
 func (s *Session) Feed(e *Event) error {
+	if err := s.validate(e); err != nil {
+		return err
+	}
 	if s.core != nil {
 		return s.core.Feed(e)
 	}
 	return s.pathFeed(e)
+}
+
+// validate applies the WithValidation check (no-op otherwise). Serialized:
+// concurrent handles may feed at once, and the validator's state is shared.
+func (s *Session) validate(e *Event) error {
+	if s.val == nil {
+		return nil
+	}
+	s.valMu.Lock()
+	defer s.valMu.Unlock()
+	return s.val.Check(e)
+}
+
+// checkToken pre-validates a Recv token under WithValidation (no-op
+// otherwise). Run before stamping so a rejected token leaves both the
+// stamper and the validator untouched. (Concurrently presenting the *same*
+// token to two handles can still pass both pre-checks and be caught only
+// at Feed time; serial misuse — the supported contract — is fully
+// pre-checked.)
+func (s *Session) checkToken(p int, tok MsgToken) error {
+	if s.val == nil {
+		return nil
+	}
+	s.valMu.Lock()
+	defer s.valMu.Unlock()
+	return s.val.CheckToken(p, tok)
 }
 
 func (s *Session) pathFeed(e *Event) error {
@@ -279,8 +318,15 @@ func (p *Process) Send(to int, state LocalState) (MsgToken, error) {
 
 // Recv records the receipt of the message identified by tok, the process's
 // valuation becoming state. Call it only after the sender's Send returned:
-// the token is the proof the send event exists.
+// the token is the proof the send event exists. With WithValidation the
+// token is checked *before* stamping: the stamper merges a token's clock
+// into the process's own irreversibly, so a forged, replayed or
+// foreign-session token must be rejected while the stamper is untouched —
+// the handle stays usable after the rejection.
 func (p *Process) Recv(tok MsgToken, state LocalState) error {
+	if err := p.s.checkToken(p.p, tok); err != nil {
+		return err
+	}
 	e, err := p.s.stamper.Recv(p.p, tok, state, p.s.now())
 	if err != nil {
 		return err
