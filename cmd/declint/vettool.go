@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"decentmon/internal/analysis"
+	"decentmon/internal/analysis/checkers"
+)
+
+// vetConfig is the subset of the go vet unit-checker .cfg file declint
+// consumes. The go command writes one per package when invoked with
+// -vettool and expects the tool to exit 0 (clean), nonzero (findings or
+// error), after writing the VetxOutput facts file.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool executes one unit-checker step. Diagnostics go to stderr; the
+// exit status tells go vet whether the package is clean.
+func runVettool(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "declint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "declint: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// declint exports no cross-package facts, so the facts file is always
+	// empty — but it must exist for the go command's action cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "declint: writing facts file: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only to produce facts
+	}
+	// go vet also drives test-package variants ("pkg [pkg.test]", external
+	// _test packages, and the synthesized test main). The suite polices the
+	// engine, not its tests — same scope as local mode, where go list's
+	// GoFiles excludes _test.go files. The variant marker lives in the unit
+	// ID; in-package test units keep a plain ImportPath, so also skip any
+	// unit that compiles _test.go files.
+	if strings.Contains(cfg.ID, ".test") || strings.Contains(cfg.ImportPath, " [") {
+		return 0
+	}
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			return 0
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("declint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := analysis.ParseAndCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "declint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, checkers.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "declint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d.Text(fset))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

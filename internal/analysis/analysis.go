@@ -1,0 +1,204 @@
+// Package analysis is a self-contained, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: it defines the Analyzer/Pass/Diagnostic
+// vocabulary, a package loader built on `go list -export` plus the gc
+// export-data importer, a driver that applies the project's suppression
+// policy, and a fixture test harness (subpackage analysistest).
+//
+// The x/tools module is deliberately not a dependency: the repo builds with
+// the Go toolchain alone. The subset implemented here is exactly what the
+// declint suite (cmd/declint) needs — syntax trees with full type
+// information, per-package runs, `// want` fixture tests, and a
+// `go vet -vettool` unit-checker protocol shim.
+//
+// # Suppression policy
+//
+// A finding may be silenced only with a written justification:
+//
+//	//declint:ignore <analyzer> <justification — why this is a false positive>
+//
+// placed on the reported line or the line above it. A suppression without a
+// justification is itself reported. Suppressions are meant for the rare
+// construct the analyzer cannot see is safe (e.g. the drained-timer receive
+// idiom); real findings must be fixed, not ignored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named, documented check run over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is the one-paragraph rule statement, shown by `declint -doc`.
+	// By convention its first line is a short summary and the rest names
+	// the source invariant the rule machine-checks (with file pointers).
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report. Returning an error aborts the whole run (reserved for
+	// analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg and TypesInfo carry full type information.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the import path, Dir the package directory on disk.
+	Path string
+	Dir  string
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Position resolves the diagnostic's file position against fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position { return fset.Position(d.Pos) }
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) Text(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// suppression is one parsed //declint:ignore comment.
+type suppression struct {
+	file          string
+	line          int
+	analyzer      string
+	justification string
+	pos           token.Pos
+	used          bool
+}
+
+const suppressPrefix = "//declint:ignore"
+
+// parseSuppressions scans a file's comments for //declint:ignore directives.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var out []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, suppressPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, suppressPrefix))
+			name, just, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			out = append(out, &suppression{
+				file:          pos.Filename,
+				line:          pos.Line,
+				analyzer:      name,
+				justification: strings.TrimSpace(just),
+				pos:           c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags against the package's suppressions and
+// appends policy violations (missing justification, unused suppression) as
+// fresh diagnostics under the "declint" meta-analyzer.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var sups []*suppression
+	for _, f := range files {
+		sups = append(sups, parseSuppressions(fset, f)...)
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if s.analyzer != d.Analyzer || s.file != pos.Filename {
+				continue
+			}
+			if s.line == pos.Line || s.line == pos.Line-1 {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.used && s.justification == "":
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "declint",
+				Message:  fmt.Sprintf("suppression of %q has no written justification (policy: //declint:ignore <analyzer> <why this is a false positive>)", s.analyzer),
+			})
+		case !s.used:
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "declint",
+				Message:  fmt.Sprintf("unused suppression of %q (nothing reported here; delete it)", s.analyzer),
+			})
+		}
+	}
+	return kept
+}
+
+// RunAnalyzers applies every analyzer to every package, applies the
+// suppression policy, and returns the surviving findings in file/line order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.ImportPath,
+				Dir:       pkg.Dir,
+				Report:    func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		all = append(all, applySuppressions(pkg.Fset, pkg.Files, pkgDiags)...)
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return all[i].Analyzer < all[j].Analyzer
+		})
+	}
+	return all, nil
+}

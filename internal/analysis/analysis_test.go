@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+func a() {
+	//declint:ignore demo the accessor is known-safe here
+	x := 1
+	_ = x
+}
+
+func b() {
+	y := 2 //declint:ignore demo same-line suppression works too
+	_ = y
+}
+
+func c() {
+	//declint:ignore demo
+	z := 3
+	_ = z
+}
+
+//declint:ignore demo this one suppresses nothing
+func d() {}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// lineOf returns the position of the first occurrence of text.
+func lineOf(t *testing.T, fset *token.FileSet, f *ast.File, src, text string) token.Pos {
+	t.Helper()
+	off := strings.Index(src, text)
+	if off < 0 {
+		t.Fatalf("marker %q not in source", text)
+	}
+	return fset.File(f.Pos()).Pos(off)
+}
+
+func TestSuppressionPolicy(t *testing.T) {
+	fset, f := parseOne(t, suppressionSrc)
+	diags := []Diagnostic{
+		{Pos: lineOf(t, fset, f, suppressionSrc, "x := 1"), Analyzer: "demo", Message: "x finding"},
+		{Pos: lineOf(t, fset, f, suppressionSrc, "y := 2"), Analyzer: "demo", Message: "y finding"},
+		{Pos: lineOf(t, fset, f, suppressionSrc, "z := 3"), Analyzer: "demo", Message: "z finding"},
+		{Pos: lineOf(t, fset, f, suppressionSrc, "x := 1"), Analyzer: "other", Message: "not suppressed: wrong analyzer"},
+	}
+	out := applySuppressions(fset, []*ast.File{f}, diags)
+
+	byMsg := map[string]Diagnostic{}
+	for _, d := range out {
+		byMsg[d.Message] = d
+	}
+	for _, suppressed := range []string{"x finding", "y finding"} {
+		if _, ok := byMsg[suppressed]; ok {
+			t.Errorf("%q survived a justified suppression", suppressed)
+		}
+	}
+	if _, ok := byMsg["z finding"]; ok {
+		t.Errorf("z finding should be suppressed (justification policing is a separate diagnostic)")
+	}
+	if _, ok := byMsg["not suppressed: wrong analyzer"]; !ok {
+		t.Errorf("suppression for analyzer demo must not silence analyzer other")
+	}
+	var missingJust, unused int
+	for _, d := range out {
+		if d.Analyzer != "declint" {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "no written justification"):
+			missingJust++
+		case strings.Contains(d.Message, "unused suppression"):
+			unused++
+		}
+	}
+	if missingJust != 1 {
+		t.Errorf("got %d missing-justification diagnostics, want 1", missingJust)
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused-suppression diagnostics, want 1", unused)
+	}
+}
+
+func TestApplySuppressionsNoSuppressions(t *testing.T) {
+	src := "package p\n\nfunc a() { x := 1; _ = x }\n"
+	fset, f := parseOne(t, src)
+	diags := []Diagnostic{{Pos: f.Pos(), Analyzer: "demo", Message: "m"}}
+	out := applySuppressions(fset, []*ast.File{f}, diags)
+	if len(out) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(out))
+	}
+}
+
+func TestDiagnosticText(t *testing.T) {
+	src := "package p\n"
+	fset, f := parseOne(t, src)
+	d := Diagnostic{Pos: f.Name.Pos(), Analyzer: "demo", Message: "msg"}
+	text := d.Text(fset)
+	for _, want := range []string{"p.go:1:9", "demo", "msg"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() = %q, missing %q", text, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its findings against `// want` comments, mirroring the x/tools harness of
+// the same name on the stdlib-only analysis framework.
+//
+// Fixtures live under the analyzer's testdata/src/<name> directory. Each is
+// an ordinary compiling package (go list loads it by explicit path, so the
+// testdata shielding does not apply); a line expecting a finding carries
+//
+//	// want `regexp`
+//
+// (backquotes or double quotes). Every reported finding must match a want on
+// its line and every want must be matched — both directions fail the test,
+// so a fixture also proves the analyzer stays silent on the blessed forms.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"decentmon/internal/analysis"
+)
+
+// wantRe extracts the expectation patterns from a comment: every
+// backquoted or double-quoted string after "want".
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (an absolute or test-relative
+// path to a directory containing a compiling package), applies the analyzer,
+// and reports mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := analysis.Load(abs, ".")
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("analysistest: fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	wants := collectWants(t, pkg)
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected finding: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses every `// want` comment of the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture returns the conventional fixture directory testdata/src/<name>
+// relative to the analyzer package under test.
+func Fixture(name string) string { return filepath.Join("testdata", "src", name) }
+
+var _ = fmt.Sprintf // keep fmt imported for future use in error paths

@@ -1,0 +1,12 @@
+package blockingsend_test
+
+import (
+	"testing"
+
+	"decentmon/internal/analysis/analysistest"
+	"decentmon/internal/analysis/checkers/blockingsend"
+)
+
+func TestBlockingSend(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("a"), blockingsend.Analyzer)
+}

@@ -1,0 +1,93 @@
+// Package a is the blockingsend fixture: loop channel ops with and
+// without a select escape case.
+package a
+
+import "context"
+
+func pumpBad(ch, out chan int) {
+	for v := range ch {
+		out <- v // want `blocking send in a loop outside a select`
+	}
+}
+
+func recvBad(ch chan int) int {
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += <-ch // want `blocking receive in a loop outside a select`
+	}
+	return s
+}
+
+func selectNoEscape(a, b chan int) {
+	for {
+		select {
+		case v := <-a: // want `blocking receive in a loop outside a select`
+			_ = v
+		case b <- 1: // want `blocking send in a loop outside a select`
+		}
+	}
+}
+
+func pumpCtx(ctx context.Context, ch, out chan int) {
+	for v := range ch {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func pumpStop(ch chan int, stop chan struct{}) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-stop:
+			return
+		}
+	}
+}
+
+func drainDefault(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+func oneShot(ch chan int) {
+	ch <- 1 // not in a loop
+}
+
+func goroutinePerIter(out chan int) {
+	for i := 0; i < 3; i++ {
+		go func(v int) { out <- v }(i) // one-shot goroutine body, not a loop send
+	}
+}
+
+func rangeOverChan(ch chan int) int {
+	s := 0
+	for v := range ch { // exempt: closing ch unblocks the range
+		s += v
+	}
+	return s
+}
+
+func loopInsideFuncLit(ch chan int) func() {
+	return func() {
+		for {
+			<-ch // want `blocking receive in a loop outside a select`
+		}
+	}
+}
+
+func suppressedDrain(ch chan int) {
+	for {
+		//declint:ignore blockingsend fixture: demonstrates a justified suppression
+		<-ch
+	}
+}

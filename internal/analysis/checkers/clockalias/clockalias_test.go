@@ -1,0 +1,12 @@
+package clockalias_test
+
+import (
+	"testing"
+
+	"decentmon/internal/analysis/analysistest"
+	"decentmon/internal/analysis/checkers/clockalias"
+)
+
+func TestClockAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("a"), clockalias.Analyzer)
+}

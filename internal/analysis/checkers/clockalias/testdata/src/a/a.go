@@ -1,0 +1,119 @@
+// Package a is the clockalias fixture: aliased clock/cut slices mutated
+// with and without an intervening clone.
+package a
+
+import "sort"
+
+// VC mirrors vclock.VC: a plain slice whose mutating methods operate on
+// shared storage.
+type VC []int
+
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+func (v VC) Tick(i int) VC { v[i]++; return v } // receiver is a clock: exempt
+
+func (v VC) Merge(w VC) VC {
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+	return v
+}
+
+// GlobalState mirrors dist.GlobalState.
+type GlobalState []int
+
+type Event struct {
+	VC VC
+}
+
+type Store struct{ counts VC }
+
+func (s *Store) Cut() VC { return s.counts } // leaks aliased storage
+
+func badIndexVar(s *Store) {
+	c := s.Cut()
+	c[0] = 7 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badIndexDirect(s *Store) {
+	s.Cut()[0] = 7 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badFieldWrite(e Event) {
+	e.VC[1] = 2 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badTick(e Event) {
+	e.VC.Tick(0) // want `Tick mutates its receiver`
+}
+
+func badMergeVar(s *Store, w VC) {
+	c := s.Cut()
+	c.Merge(w) // want `Merge mutates its receiver`
+}
+
+func badParam(v VC) {
+	v[0] = 1 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badGlobalStateParam(g GlobalState) {
+	g[0] = 1 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badSort(e Event) {
+	sort.Ints([]int(e.VC)) // want `sort.Ints reorders an aliased clock/cut slice`
+}
+
+func badCopyInto(s *Store, src VC) {
+	copy(s.Cut(), src) // want `copy into aliased clock/cut slice`
+}
+
+func badIncDec(e Event) {
+	e.VC[0]++ // want `in-place element update of aliased clock/cut slice`
+}
+
+func badVarDecl(e Event) {
+	var v = e.VC
+	v[2] = 9 // want `in-place element write to aliased clock/cut slice`
+}
+
+func goodCloneThenWrite(s *Store) VC {
+	c := s.Cut().Clone()
+	c[0] = 7
+	return c
+}
+
+func goodRebind(e Event) VC {
+	v := e.VC
+	v = v.Clone()
+	v[0] = 1
+	return v
+}
+
+func goodAppendCopy(e Event) VC {
+	v := append(VC(nil), e.VC...)
+	v[0] = 1
+	return v
+}
+
+func goodOwned() VC {
+	v := make(VC, 3)
+	v[0] = 1
+	v.Tick(1)
+	return v
+}
+
+func goodWholeFieldAssign(e *Event, v VC) {
+	e.VC = v.Clone() // ownership transfer, not element mutation
+}
+
+func goodReadOnly(e Event, w VC) bool {
+	x := e.VC
+	return len(x) == len(w) && x[0] == w[0]
+}

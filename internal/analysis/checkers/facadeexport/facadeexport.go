@@ -1,0 +1,59 @@
+// Package facadeexport cross-checks a package's README against its actual
+// exported API.
+//
+// Source invariant: the decentmon facade (repo root) is the supported
+// surface — README examples are the contract users copy from. A README
+// that references decentmon.Foo when the facade stopped (or never started)
+// exporting Foo is a silent doc/API drift the compiler cannot catch,
+// because READMEs don't compile.
+//
+// The analyzer activates only for packages whose directory contains a
+// README.md. Every `pkgname.Identifier` reference in the README (with an
+// exported identifier) must resolve in the package's export scope;
+// unresolved references are reported at the package clause with the README
+// line number.
+package facadeexport
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"decentmon/internal/analysis"
+)
+
+// Analyzer is the facadeexport analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "facadeexport",
+	Doc:  "flags exported API referenced in the package's README.md that the package does not actually export (facade/doc drift; the decentmon facade is the supported surface)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	data, err := os.ReadFile(filepath.Join(pass.Dir, "README.md"))
+	if err != nil {
+		return nil // no README, nothing to cross-check
+	}
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	re := regexp.MustCompile(`\b` + regexp.QuoteMeta(pass.Pkg.Name()) + `\.([A-Z][A-Za-z0-9_]*)`)
+	scope := pass.Pkg.Scope()
+	anchor := pass.Files[0].Name.Pos() // package clause of the first file
+	seen := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range re.FindAllStringSubmatch(line, -1) {
+			name := m[1]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if scope.Lookup(name) == nil {
+				pass.Reportf(anchor, "README.md:%d references %s.%s, which package %s does not export",
+					i+1, pass.Pkg.Name(), name, pass.Pkg.Name())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package facadeexport_test
+
+import (
+	"testing"
+
+	"decentmon/internal/analysis/analysistest"
+	"decentmon/internal/analysis/checkers/facadeexport"
+)
+
+func TestFacadeExport(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("f"), facadeexport.Analyzer)
+}

@@ -1,0 +1,9 @@
+// Package f is the facadeexport fixture: its README references both real
+// and phantom exports.
+package f // want `README.md:7 references f.Missing` `README.md:9 references f.Gone`
+
+// Exported is real, re-exported API.
+type Exported struct{}
+
+// Do is a real exported function.
+func Do() {}

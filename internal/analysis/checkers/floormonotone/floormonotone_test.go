@@ -1,0 +1,12 @@
+package floormonotone_test
+
+import (
+	"testing"
+
+	"decentmon/internal/analysis/analysistest"
+	"decentmon/internal/analysis/checkers/floormonotone"
+)
+
+func TestFloorMonotone(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("a"), floormonotone.Analyzer)
+}

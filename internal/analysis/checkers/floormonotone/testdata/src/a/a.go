@@ -1,0 +1,101 @@
+// Package a is the floormonotone fixture: writes to floor/minCut fields
+// through and around the monotone-advance helpers.
+package a
+
+// VC mirrors vclock.VC.
+type VC []int
+
+// New returns a zero clock.
+func New(n int) VC { return make(VC, n) }
+
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+func (v VC) Merge(w VC) VC {
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+	return v
+}
+
+func (v VC) Tick(i int) VC { v[i]++; return v }
+
+type mon struct {
+	curFloor  VC
+	peerFloor []VC
+	sentFloor map[int]VC
+	minCut    VC
+	other     VC
+}
+
+// needFloor computes a floor from scratch; its local element writes are
+// legitimate (fields only are policed).
+func (m *mon) needFloor() VC {
+	out := New(len(m.curFloor))
+	for i := range out {
+		out[i] = 1 << 10
+		for _, p := range m.peerFloor {
+			if p[i] < out[i] {
+				out[i] = p[i]
+			}
+		}
+	}
+	return out
+}
+
+func badElement(m *mon, i, x int) {
+	m.curFloor[i] = x // want `pointwise write to floor field curFloor`
+}
+
+func badPeerElement(m *mon, from, i, x int) {
+	m.peerFloor[from][i] = x // want `pointwise write to floor field peerFloor`
+}
+
+func badWhole(m *mon, v VC) {
+	m.curFloor = v // want `assignment to floor field curFloor from an unblessed source`
+}
+
+func badTick(m *mon, i int) {
+	m.curFloor.Tick(i) // want `Tick on floor field curFloor`
+}
+
+func badCopy(m *mon, v VC) {
+	copy(m.minCut, v) // want `copy into floor field minCut`
+}
+
+func badIncDec(m *mon, i int) {
+	m.curFloor[i]++ // want `pointwise update of floor field curFloor`
+}
+
+func goodRecompute(m *mon) {
+	m.curFloor = m.needFloor()
+}
+
+func goodInit(m *mon, n int) {
+	m.curFloor = New(n)
+	for j := range m.peerFloor {
+		m.peerFloor[j] = New(n)
+	}
+	m.sentFloor = map[int]VC{}
+}
+
+func goodRecordSent(m *mon, to int) {
+	m.sentFloor[to] = m.curFloor // floor-to-floor transfer
+}
+
+func goodMerge(m *mon, f VC) {
+	m.peerFloor[0].Merge(f) // pointwise max: the blessed advance
+}
+
+func goodClone(m *mon) {
+	m.minCut = m.curFloor.Clone()
+}
+
+func goodNonFloorField(m *mon, i int) {
+	m.other[i] = 3 // not a floor-named field
+}

@@ -1,0 +1,12 @@
+package propmask_test
+
+import (
+	"testing"
+
+	"decentmon/internal/analysis/analysistest"
+	"decentmon/internal/analysis/checkers/propmask"
+)
+
+func TestPropMask(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("a"), propmask.Analyzer)
+}

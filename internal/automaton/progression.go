@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"decentmon/internal/boolfn"
 	"decentmon/internal/ltl"
 )
 
@@ -27,6 +28,13 @@ func BuildProgression(f *ltl.Formula, props []string) (*Monitor, error) {
 	min, err := Build(f, props)
 	if err != nil {
 		return nil, err
+	}
+	// Build has already rejected oversized proposition sets, but the bound
+	// licensing the 1<<len(props) alphabet below must hold visibly in this
+	// function: the letter space is capped by boolfn.MaxVars, not by
+	// whatever the caller happened to pass.
+	if len(props) > boolfn.MaxVars {
+		return nil, fmt.Errorf("automaton: %d propositions exceed the supported maximum %d", len(props), boolfn.MaxVars)
 	}
 	propIdx := make(map[string]int, len(props))
 	for i, p := range props {

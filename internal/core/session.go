@@ -328,6 +328,7 @@ func (s *Session) admit() error {
 		select {
 		case <-s.relief:
 			if !timer.Stop() {
+				//declint:ignore blockingsend Stop() returned false, so the timer already fired and timer.C holds exactly one value; this drain cannot block
 				<-timer.C
 			}
 		case <-s.ctx.Done():

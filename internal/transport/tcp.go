@@ -61,7 +61,7 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 	// Accept loops: j accepts connections from all i < j; the dialer's first
 	// frame is a 4-byte hello carrying its id.
 	var acceptWG sync.WaitGroup
-	acceptErr := make(chan error, n)
+	acceptErrs := make([]error, n) // one owned slot per accept goroutine
 	for j := 0; j < n; j++ {
 		expect := j // connections from endpoints 0..j-1
 		acceptWG.Add(1)
@@ -70,12 +70,12 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 			for k := 0; k < expect; k++ {
 				conn, err := listeners[j].Accept()
 				if err != nil {
-					acceptErr <- err
+					acceptErrs[j] = err
 					return
 				}
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					acceptErr <- err
+					acceptErrs[j] = err
 					return
 				}
 				from := int(binary.BigEndian.Uint32(hello[:]))
@@ -99,9 +99,10 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 		}
 	}
 	acceptWG.Wait()
-	close(acceptErr)
-	for err := range acceptErr {
-		return nil, fmt.Errorf("transport: accept: %w", err)
+	for _, err := range acceptErrs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
 	}
 	for _, l := range listeners {
 		l.Close()
