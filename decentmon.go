@@ -12,9 +12,13 @@
 //	internal/automaton  LTL3 monitor synthesis (minimal and paper-shape)
 //	internal/dist       distributed program model, traces, workload generator
 //	internal/lattice    computation lattice and the ground-truth oracle
-//	internal/core       the decentralized monitoring algorithm
+//	internal/core       the decentralized monitoring algorithm + shard scheduler
 //	internal/central    the centralized baseline
 //	internal/transport  in-memory and TCP monitor networks
+//
+// ARCHITECTURE.md walks the full package graph, the Session lifecycle and
+// the machine-checked concurrency invariants; PERFORMANCE.md is the
+// engine's performance model and benchmark-reading guide.
 //
 // A minimal end-to-end replay:
 //
@@ -338,6 +342,16 @@ func WithMaxLag(n int) Option {
 // monitors' knowledge then buffers however far the feed outruns them.
 func WithoutBackpressure() Option { return WithMaxLag(-1) }
 
+// WithShards selects the monitor pump scheduler: 0 (the default) picks a
+// work-stealing pool of min(GOMAXPROCS, n) workers on multi-core machines
+// and the serial goroutine-per-monitor path otherwise; 1 forces serial;
+// k > 1 forces a pool of k workers. Verdicts are identical either way —
+// sharding only changes which goroutine executes a monitor's pump work
+// (see ARCHITECTURE.md and PERFORMANCE.md).
+func WithShards(k int) Option {
+	return func(o *options) { o.cfg.Shards = k }
+}
+
 // WithInitialState sets the initial global state of an online session (one
 // LocalState per process, defaults to all-zero valuations). Sessions only;
 // replays take the initial state from the trace header.
@@ -393,6 +407,9 @@ func (o *options) checkBounded(entry string) error {
 	}
 	if o.cfg.MaxLag != 0 {
 		return fmt.Errorf("decentmon: %s is O(n)-memory by construction; WithMaxLag applies to the decentralized engine", entry)
+	}
+	if o.cfg.Shards != 0 {
+		return fmt.Errorf("decentmon: %s evaluates a single path serially; WithShards applies to the decentralized engine", entry)
 	}
 	return nil
 }

@@ -75,3 +75,65 @@ func ExampleNewSession() {
 	// online: T conclusive: true
 	// final: [T]
 }
+
+// ExampleSession_Verdicts shows verdict subscription under feeder-side
+// backpressure: a tight WithMaxLag throttles the replay to the monitors'
+// collection rate, while the subscriber keeps receiving detections as they
+// happen — the verdict channel is buffered for every possible event, so a
+// slow subscriber can never wedge the monitors or the throttled feeder.
+func ExampleSession_Verdicts() {
+	spec := decentmon.MustCompile("F (P0.p && P1.p)", decentmon.PerProcessProps(2, "p"))
+	sess, err := decentmon.NewSession(spec, 2, decentmon.WithMaxLag(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribe before feeding: detections arrive while the replay runs.
+	// Which monitor proves the goal first is scheduling-dependent, so the
+	// subscriber records the detection rather than its attribution.
+	detected := make(chan decentmon.Verdict, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range sess.Verdicts() {
+			if ev.Conclusive {
+				select {
+				case detected <- ev.Verdict:
+				default: // other monitors may prove it again; one is enough
+				}
+			}
+		}
+	}()
+
+	// Replay a generated execution through the session; with the goal
+	// planted at the end, the feeder outruns the monitors and the MaxLag
+	// gate paces the admissions.
+	traces := decentmon.Generate(decentmon.GenConfig{
+		N: 2, InternalPerProc: 20, CommMu: 3, CommSigma: 1,
+		PlantGoal: true, Seed: 1,
+	})
+	for _, tr := range traces.Traces {
+		for _, e := range tr.Events {
+			if err := sess.Feed(e); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sess.End(e0proc(tr)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := sess.Close() // closes the verdict channel
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Println("detected online:", <-detected)
+	fmt.Println("final:", res.VerdictList())
+	// Output:
+	// detected online: T
+	// final: [T]
+}
+
+// e0proc returns the owning process of a trace (its first event's Proc).
+func e0proc(tr *decentmon.Trace) int { return tr.Events[0].Proc }

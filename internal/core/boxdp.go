@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"strconv"
 
 	"decentmon/internal/automaton"
 	"decentmon/internal/vclock"
@@ -35,9 +37,15 @@ type pivot struct {
 // lattice paths (soundness) while still only ever expanding regions that can
 // change the automaton state.
 //
+// Each node caches the letter at its cut, maintained incrementally through
+// the letterTable (one edge changes one process's bits), so the explorer
+// never materializes a GlobalState per node; map lookups go through a scratch
+// key buffer (m[string(buf)] compiles to an allocation-free lookup), so only
+// node *insertion* allocates.
+//
 // maxNodes bounds the exploration; exceeding it returns an error (the
 // monitor surfaces it — the paper's workloads never approach the bound).
-func exploreBox(mon *automaton.Monitor, know *knowledge, pm letterer, init stateset, lo, hi vclock.VC, maxNodes int) (*boxResult, error) {
+func exploreBox(mon *automaton.Monitor, know *knowledge, lt *letterTable, init stateset, lo, hi vclock.VC, maxNodes int) (*boxResult, error) {
 	n := know.n
 	for p := 0; p < n; p++ {
 		if lo[p] > hi[p] {
@@ -50,23 +58,25 @@ func exploreBox(mon *automaton.Monitor, know *knowledge, pm letterer, init state
 	type node struct {
 		cut    vclock.VC
 		states stateset
+		letter uint32
 	}
 	nStates := mon.NumStates()
 	index := map[string]*node{}
-	start := &node{cut: lo.Clone(), states: newStateset(nStates)}
+	start := &node{cut: lo.Clone(), states: newStateset(nStates), letter: lt.letter(know.stateAt(lo))}
 	copy(start.states, init)
-	index[lo.Key()] = start
+	index[string(lo.AppendKey(nil))] = start
 	queue := []*node{start}
 
 	res := &boxResult{nodes: 1}
 	seenConcl := map[int]bool{}
 	seenPivot := map[string]bool{}
-	for q := 0; q < nStates; q++ {
-		if init.has(q) && mon.Final(q) {
+	init.forEach(func(q int) {
+		if mon.Final(q) {
 			seenConcl[q] = true
 		}
-	}
+	})
 
+	var keyBuf, pivotBuf []byte
 	for len(queue) > 0 {
 		nd := queue[0]
 		queue = queue[1:]
@@ -77,57 +87,57 @@ func exploreBox(mon *automaton.Monitor, know *knowledge, pm letterer, init state
 			if !know.consistentStep(nd.cut, p) {
 				continue
 			}
-			next := nd.cut.Clone()
-			next[p]++
-			key := next.Key()
-			succ, ok := index[key]
+			nd.cut[p]++ // borrow the cut for the key probe; restored below
+			keyBuf = nd.cut.AppendKey(keyBuf[:0])
+			succ, ok := index[string(keyBuf)]
 			if !ok {
-				succ = &node{cut: next, states: newStateset(nStates)}
-				index[key] = succ
+				succ = &node{
+					cut:    nd.cut.Clone(),
+					states: newStateset(nStates),
+					letter: lt.update(nd.letter, p, know.state(p, nd.cut[p])),
+				}
+				index[string(keyBuf)] = succ
 				queue = append(queue, succ)
 				res.nodes++
 				if res.nodes > maxNodes {
+					nd.cut[p]--
 					return nil, fmt.Errorf("core: box exploration exceeded %d nodes between %v and %v", maxNodes, lo, hi)
 				}
 			}
-			letter := pm.letterAt(know, next)
-			for st := 0; st < nStates; st++ {
-				if !nd.states.has(st) {
-					continue
-				}
-				nq := mon.Step(st, letter)
-				succ.states.set(nq)
-				if nq != st {
-					// An outgoing transition fired: a pivot global state.
-					pk := fmt.Sprintf("%d|%s", nq, key)
-					if !seenPivot[pk] {
-						seenPivot[pk] = true
-						res.pivots = append(res.pivots, pivot{q: nq, cut: next.Clone()})
-					}
-					if mon.Final(nq) && !seenConcl[nq] {
-						seenConcl[nq] = true
-						res.conclusive = append(res.conclusive, pivot{q: nq, cut: next.Clone()})
+			nd.cut[p]--
+			letter := succ.letter
+			for w, word := range nd.states {
+				for word != 0 {
+					st := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					nq := mon.Step(st, letter)
+					succ.states.set(nq)
+					if nq != st {
+						// An outgoing transition fired: a pivot global state.
+						pivotBuf = strconv.AppendInt(pivotBuf[:0], int64(nq), 10)
+						pivotBuf = append(pivotBuf, '|')
+						pivotBuf = succ.cut.AppendKey(pivotBuf)
+						if !seenPivot[string(pivotBuf)] {
+							seenPivot[string(pivotBuf)] = true
+							res.pivots = append(res.pivots, pivot{q: nq, cut: succ.cut.Clone()})
+						}
+						if mon.Final(nq) && !seenConcl[nq] {
+							seenConcl[nq] = true
+							res.conclusive = append(res.conclusive, pivot{q: nq, cut: succ.cut.Clone()})
+						}
 					}
 				}
 			}
 		}
 	}
-	top, ok := index[hi.Key()]
+	top, ok := index[string(hi.AppendKey(keyBuf[:0]))]
 	if !ok {
 		return nil, fmt.Errorf("core: box upper cut %v unreachable from %v", hi, lo)
 	}
-	for st := 0; st < nStates; st++ {
-		if top.states.has(st) {
-			res.finalStates = append(res.finalStates, st)
-		}
-	}
+	top.states.forEach(func(st int) {
+		res.finalStates = append(res.finalStates, st)
+	})
 	return res, nil
-}
-
-// letterer abstracts global-state-to-letter conversion so the explorer can
-// be tested without a full PropMap.
-type letterer interface {
-	letterAt(know *knowledge, cut vclock.VC) uint32
 }
 
 // stateset is a small bitset over automaton states (mirrors the lattice
@@ -139,14 +149,32 @@ func newStateset(n int) stateset { return make(stateset, (n+63)/64) }
 func (s stateset) set(i int)      { s[i/64] |= 1 << (i % 64) }
 func (s stateset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
 
-// members lists the states contained in the set, ascending.
-func (s stateset) members(n int) []int {
-	var out []int
-	for i := 0; i < n; i++ {
-		if s.has(i) {
-			out = append(out, i)
+// clear zeroes the set in place (scratch reuse on the hot path).
+func (s stateset) clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// forEach calls fn for every member state, ascending, without allocating.
+func (s stateset) forEach(fn func(q int)) {
+	for w, word := range s {
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
+}
+
+// members lists the states contained in the set, ascending (cold paths and
+// tests; hot paths iterate with forEach or inline word scans instead).
+func (s stateset) members(n int) []int {
+	var out []int
+	s.forEach(func(q int) {
+		if q < n {
+			out = append(out, q)
+		}
+	})
 	return out
 }
 

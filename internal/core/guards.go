@@ -69,6 +69,92 @@ func newGuardTable(mon *automaton.Monitor, pm *dist.PropMap, n int) *guardTable 
 // guard returns the per-process conjunct of transition id for proc.
 func (gt *guardTable) guard(id, proc int) localGuard { return gt.perTrans[id][proc] }
 
+// letterTable precomputes the map from per-process local states to
+// monitor-letter bits, so the hot paths can maintain letters *incrementally*:
+// advancing a cut by one event of process p changes only p's bits, so
+//
+//	letter' = letter &^ mask[p] | bits[p][state]
+//
+// replaces the O(|props|) PropMap.Letter walk (and, in the box explorer, the
+// per-node GlobalState materialization) with two table lookups. For processes
+// owning more than lutBits propositions the table would be oversized, so
+// bitsOf falls back to walking that process's propositions.
+type letterTable struct {
+	n    int
+	mask []uint32 // mask[p]: letter bits owned by process p
+	bits [][]uint32
+	// fallback, per process: (letter bit, local bit) pairs
+	props [][2][]int
+}
+
+// lutBits caps the per-process lookup table at 2^lutBits entries.
+const lutBits = 10
+
+func newLetterTable(pm *dist.PropMap, n int) *letterTable {
+	lt := &letterTable{
+		n:     n,
+		mask:  make([]uint32, n),
+		bits:  make([][]uint32, n),
+		props: make([][2][]int, n),
+	}
+	owned := make([]int, n) // props per process
+	for i := range pm.Names {
+		p := pm.Owner[i]
+		if p >= n {
+			continue
+		}
+		lt.mask[p] |= 1 << i
+		lt.props[p][0] = append(lt.props[p][0], i)
+		lt.props[p][1] = append(lt.props[p][1], pm.LocalBit[i])
+		owned[p]++
+	}
+	for p := 0; p < n; p++ {
+		if owned[p] == 0 || owned[p] > lutBits {
+			continue
+		}
+		tab := make([]uint32, 1<<owned[p])
+		for s := range tab {
+			var l uint32
+			for k, lb := range lt.props[p][1] {
+				if (s>>lb)&1 == 1 {
+					l |= 1 << lt.props[p][0][k]
+				}
+			}
+			tab[s] = l
+		}
+		lt.bits[p] = tab
+	}
+	return lt
+}
+
+// bitsOf returns the letter bits process p contributes in local state s.
+func (lt *letterTable) bitsOf(p int, s dist.LocalState) uint32 {
+	if tab := lt.bits[p]; tab != nil {
+		return tab[int(s)&(len(tab)-1)]
+	}
+	var l uint32
+	for k, lb := range lt.props[p][1] {
+		if (uint32(s)>>lb)&1 == 1 {
+			l |= 1 << lt.props[p][0][k]
+		}
+	}
+	return l
+}
+
+// update advances a cached letter across one event of process p.
+func (lt *letterTable) update(letter uint32, p int, s dist.LocalState) uint32 {
+	return letter&^lt.mask[p] | lt.bitsOf(p, s)
+}
+
+// letter computes a letter from scratch (view creation; steps use update).
+func (lt *letterTable) letter(g dist.GlobalState) uint32 {
+	var l uint32
+	for p := 0; p < lt.n && p < len(g); p++ {
+		l |= lt.bitsOf(p, g[p])
+	}
+	return l
+}
+
 // forbidding returns the processes whose local state in g fails their
 // conjunct of transition id (the "forbidding processes" of Algorithm 3).
 func (gt *guardTable) forbidding(id int, g dist.GlobalState) []int {

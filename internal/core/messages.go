@@ -1,17 +1,15 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"decentmon/internal/dist"
 	"decentmon/internal/vclock"
 )
 
-// Monitor-to-monitor messages. All traffic is gob-encoded wireMsg envelopes;
-// the payload bytes double as the "monitoring message size" measured by the
-// memory/communication experiments.
+// Monitor-to-monitor messages. All traffic is wireMsg envelopes in the flat
+// varint encoding of wirecodec.go; the payload bytes double as the
+// "monitoring message size" measured by the memory/communication experiments.
 
 type msgKind int8
 
@@ -163,20 +161,4 @@ type wireMsg struct {
 	// every decentralized-mode message; floorInf components mean "never
 	// again". Receivers fold it into their view of the global minimal cut.
 	Floor vclock.VC
-}
-
-func encodeMsg(m *wireMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		return nil, fmt.Errorf("core: encoding %v message: %w", m.Kind, err)
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeMsg(payload []byte) (*wireMsg, error) {
-	var m wireMsg
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
-		return nil, fmt.Errorf("core: decoding message: %w", err)
-	}
-	return &m, nil
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -98,18 +100,36 @@ type globalView struct {
 	states  stateset
 	cut     vclock.VC
 	gstate  dist.GlobalState
+	letter  uint32    // cached monitor letter at gstate (letterTable-maintained)
 	lastSig string    // §4.3.2: last possibly-enabled-transition signature
 	blocked vclock.VC // non-nil: awaiting knowledge covering this cut
 }
 
 func gvKey(cut vclock.VC) string { return cut.Key() }
 
-// feedItem is one message from the composed program process to its monitor.
+// stateSearch is one automaton state's possibly-enabled outgoing-transition
+// set during maybeLaunchSearches; ids live in idScratch[lo:hi] and the
+// state's signature in sigBuf[sigLo:sigHi] (both scratch-backed).
+type stateSearch struct{ q, lo, hi, sigLo, sigHi int }
+
+// feedItem is one message from the composed program process to its monitor:
+// a single event, a batch of consecutive events (batched feeding amortizes
+// the channel transfer), or the termination marker.
 type feedItem struct {
 	event *dist.Event
+	batch []*dist.Event
 	term  bool
 	total int
 }
+
+// pumpBatch bounds how many already-queued inputs one run-loop round absorbs
+// before pumping. Batching is protocol-equivalent to pumping after every
+// input: handlers only update monitor state (knowledge, parked tokens,
+// served fetches — serveWaiters runs inside them), and pump is an idempotent
+// fixpoint driver, so deferring it across a bounded batch delays detections
+// by at most the batch, never changes what is detected. The drain is strictly
+// non-blocking, so responsiveness to cancellation is unchanged.
+const pumpBatch = 32
 
 // Monitor is one decentralized monitor process Mi.
 type Monitor struct {
@@ -118,9 +138,21 @@ type Monitor struct {
 	mon *automaton.Monitor
 	pm  *dist.PropMap
 	gt  *guardTable
+	lt  *letterTable
 
 	know *knowledge
 	feed chan feedItem
+
+	// Hot-path scratch (single-goroutine use only: the run loop owns them).
+	// Map probes go through keyBuf/sigBuf via the m[string(buf)] idiom so
+	// lookups never allocate; keyScratch and ssScratch recycle the per-pump
+	// key slice and the per-step state set (PERFORMANCE.md).
+	keyBuf        []byte
+	sigBuf        []byte
+	keyScratch    []string
+	ssScratch     stateset
+	searchScratch []stateSearch
+	idScratch     []int
 
 	gvs      map[string]*globalView
 	launched map[string]bool // search dedupe: q|cutKey
@@ -141,7 +173,8 @@ type Monitor struct {
 	curFloor  vclock.VC
 	peerFloor []vclock.VC
 	sentFloor []vclock.VC
-	pumpSeq   uint64 // pumps since start, for gcCollectEvery amortization
+	inputSeq  uint64 // inputs handled, for gcCollectEveryInputs amortization
+	lastGC    uint64 // inputSeq at the last collectKnowledge run
 
 	localDone  bool
 	localTotal int
@@ -202,6 +235,7 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		mon:           cfg.Automaton,
 		pm:            cfg.Props,
 		gt:            newGuardTable(cfg.Automaton, cfg.Props, cfg.N),
+		lt:            newLetterTable(cfg.Props, cfg.N),
 		know:          newKnowledge(cfg.N, cfg.Init),
 		feed:          make(chan feedItem, cfg.FeedBuffer),
 		gvs:           map[string]*globalView{},
@@ -222,6 +256,7 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		m.peerFloor[j] = vclock.New(cfg.N)
 		m.sentFloor[j] = vclock.New(cfg.N)
 	}
+	m.ssScratch = newStateset(cfg.Automaton.NumStates())
 	return m, nil
 }
 
@@ -232,6 +267,18 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 func (m *Monitor) DeliverContext(ctx context.Context, e *dist.Event) error {
 	select {
 	case m.feed <- feedItem{event: e}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DeliverBatchContext feeds a batch of consecutive local events in one
+// channel transfer. The monitor takes ownership of the slice and its events;
+// callers must not reuse either after a successful delivery.
+func (m *Monitor) DeliverBatchContext(ctx context.Context, events []*dist.Event) error {
+	select {
+	case m.feed <- feedItem{batch: events}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -285,9 +332,56 @@ func (m *Monitor) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	m.start(ctx)
+	inbox := m.ep.Inbox()
+	for !m.finished() && m.err == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case item := <-m.feed:
+			m.handleFeed(item)
+		case msg, ok := <-inbox:
+			if !ok {
+				return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
+			}
+			m.handleMessage(msg)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		// Batched round: absorb whatever else is already queued — without
+		// blocking — before paying for one pump (see pumpBatch). Protocol
+		// messages drain before new local events: an aging token keeps its
+		// candidate cuts drifting away from the search origin as local
+		// history grows, inflating the exact region explored on its return,
+		// so in-flight traffic is always served ahead of fresh admissions.
+	drain:
+		for k := 1; k < pumpBatch && m.err == nil; k++ {
+			select {
+			case msg, ok := <-inbox:
+				if !ok {
+					return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
+				}
+				m.handleMessage(msg)
+				continue
+			default:
+			}
+			select {
+			case item := <-m.feed:
+				m.handleFeed(item)
+			default:
+				break drain
+			}
+		}
+		m.pump()
+	}
+	return m.err
+}
+
+// start performs INIT (§4.2.0.2) and the first pump: the initial global view
+// consumes the initial global state. Shared by Run and RunSharded.
+func (m *Monitor) start(ctx context.Context) {
 	m.ctx = ctx
-	// INIT (§4.2.0.2): the initial global view consumes the initial global
-	// state.
 	q0 := m.mon.Step(m.mon.Initial(), m.pm.Letter(m.cfg.Init))
 	if m.mon.Final(q0) {
 		m.recordVerdictState(q0, vclock.New(m.cfg.N))
@@ -299,30 +393,23 @@ func (m *Monitor) Run(ctx context.Context) error {
 	}
 	m.initialQ = q0
 	m.pump()
+}
 
-	inbox := m.ep.Inbox()
-	for !m.finished() && m.err == nil {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		select {
-		case item := <-m.feed:
-			if item.term {
-				m.handleLocalTermination(item.total)
-			} else {
-				m.handleLocalEvent(item.event)
+// handleFeed dispatches one feed-queue item.
+func (m *Monitor) handleFeed(item feedItem) {
+	switch {
+	case item.term:
+		m.handleLocalTermination(item.total)
+	case item.batch != nil:
+		for _, e := range item.batch {
+			m.handleLocalEvent(e)
+			if m.err != nil {
+				return
 			}
-		case msg, ok := <-inbox:
-			if !ok {
-				return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
-			}
-			m.handleMessage(msg)
-		case <-ctx.Done():
-			return ctx.Err()
 		}
-		m.pump()
+	default:
+		m.handleLocalEvent(item.event)
 	}
-	return m.err
 }
 
 // fail records the first error; the run loop exits on it.
@@ -335,6 +422,7 @@ func (m *Monitor) fail(err error) {
 // --- local events ---
 
 func (m *Monitor) handleLocalEvent(e *dist.Event) {
+	m.inputSeq++
 	if err := m.know.append(e); err != nil {
 		m.fail(err)
 		return
@@ -356,6 +444,7 @@ func (m *Monitor) handleLocalEvent(e *dist.Event) {
 }
 
 func (m *Monitor) handleLocalTermination(total int) {
+	m.inputSeq++
 	m.localDone = true
 	m.localTotal = total
 	m.know.markDone(m.cfg.Index, total)
@@ -390,6 +479,7 @@ type pendingFetch struct {
 // --- network messages ---
 
 func (m *Monitor) handleMessage(raw transport.Message) {
+	m.inputSeq++
 	msg, err := decodeMsg(raw.Payload)
 	if err != nil {
 		m.fail(err)
@@ -505,7 +595,7 @@ func (m *Monitor) integrateEnabled(t *tokenWire, tr *transWire) {
 	}
 	origin := newStateset(m.mon.NumStates())
 	origin.set(t.Q)
-	box, err := exploreBox(m.mon, m.know, m, origin, t.Origin, tr.Gcut, m.cfg.MaxBoxNodes)
+	box, err := exploreBox(m.mon, m.know, m.lt, origin, t.Origin, tr.Gcut, m.cfg.MaxBoxNodes)
 	if err != nil {
 		m.fail(err)
 		return
@@ -638,8 +728,8 @@ func (m *Monitor) requestKnowledge(target vclock.VC) {
 // (Algorithm 2): views at the same cut merge by unioning their state sets.
 // counted controls whether the view increments the Fig. 5.8 fork metric.
 func (m *Monitor) addGV(states stateset, cut vclock.VC, gstate dist.GlobalState, counted bool) *globalView {
-	key := gvKey(cut)
-	if gv, ok := m.gvs[key]; ok {
+	m.keyBuf = cut.AppendKey(m.keyBuf[:0])
+	if gv, ok := m.gvs[string(m.keyBuf)]; ok { // allocation-free probe
 		if gv.states.or(states) {
 			gv.lastSig = "" // the enabled-set signature may have changed
 			if counted {
@@ -648,8 +738,8 @@ func (m *Monitor) addGV(states stateset, cut vclock.VC, gstate dist.GlobalState,
 		}
 		return gv
 	}
-	gv := &globalView{states: states, cut: cut, gstate: gstate}
-	m.gvs[key] = gv
+	gv := &globalView{states: states, cut: cut, gstate: gstate, letter: m.lt.letter(gstate)}
+	m.gvs[string(m.keyBuf)] = gv // insertion materializes the key
 	if counted {
 		m.metrics.GlobalViewsCreated++
 	}
@@ -710,12 +800,17 @@ func (m *Monitor) publishGauges() {
 	}
 }
 
+// gvKeys snapshots the live view keys in deterministic order. The returned
+// slice is the monitor's keyScratch: valid until the next gvKeys call, which
+// is fine for its callers (each finishes iterating before calling again, and
+// advanceGV never calls gvKeys).
 func (m *Monitor) gvKeys() []string {
-	keys := make([]string, 0, len(m.gvs))
+	keys := m.keyScratch[:0]
 	for k := range m.gvs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	m.keyScratch = keys
 	return keys
 }
 
@@ -743,25 +838,34 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 			delete(m.gvs, key)
 			gv.cut[i] = next
 			gv.gstate[i] = e.State
-			letter := m.pm.Letter(gv.gstate)
-			ns := newStateset(m.mon.NumStates())
-			for _, q := range gv.states.members(m.mon.NumStates()) {
-				nq := m.mon.Step(q, letter)
-				if m.mon.Final(nq) {
-					m.recordVerdictState(nq, gv.cut)
-					continue // conclusive states are absorbing: stop tracing
+			gv.letter = m.lt.update(gv.letter, i, e.State)
+			// Step every state of the view word-wise into the recycled
+			// scratch set; the view's old set becomes the next scratch.
+			ns := m.ssScratch
+			ns.clear()
+			for w, word := range gv.states {
+				for word != 0 {
+					q := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					nq := m.mon.Step(q, gv.letter)
+					if m.mon.Final(nq) {
+						m.recordVerdictState(nq, gv.cut)
+						continue // conclusive states are absorbing: stop tracing
+					}
+					ns.set(nq)
 				}
-				ns.set(nq)
 			}
 			if ns.empty() {
 				return true // every path concluded; the view's work is done
 			}
+			m.ssScratch = gv.states
 			gv.states = ns
-			key = gvKey(gv.cut)
-			if other, dup := m.gvs[key]; dup && other != gv {
+			m.keyBuf = gv.cut.AppendKey(m.keyBuf[:0])
+			if other, dup := m.gvs[string(m.keyBuf)]; dup && other != gv {
 				other.states.or(gv.states) // merge into the resident view
 				return true
 			}
+			key = string(m.keyBuf) // insertion materializes the key
 			m.gvs[key] = gv
 			changed = true
 			m.maybeLaunchSearches(gv)
@@ -776,7 +880,7 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 			gv.blocked = target
 			return changed
 		}
-		box, err := exploreBox(m.mon, m.know, m, gv.states, gv.cut, target, m.cfg.MaxBoxNodes)
+		box, err := exploreBox(m.mon, m.know, m.lt, gv.states, gv.cut, target, m.cfg.MaxBoxNodes)
 		if err != nil {
 			m.fail(err)
 			return changed
@@ -801,60 +905,77 @@ func (m *Monitor) maybeLaunchSearches(gv *globalView) {
 	i := m.cfg.Index
 	// Per automaton state in the view, the possibly-enabled outgoing
 	// transitions (those whose local conjunct Pi does not forbid,
-	// Algorithm 3 line 7).
-	type stateSearch struct {
-		q   int
-		ids []int
-	}
-	var searches []stateSearch
-	var sigParts []string
-	for _, q := range gv.states.members(m.mon.NumStates()) {
-		var ids []int
-		for _, tr := range m.mon.Out(q) {
-			if tr.SelfLoop() {
+	// Algorithm 3 line 7). Ids, signatures and the search records all build
+	// into reused scratch; strings materialize only past the dedup checks.
+	searches := m.searchScratch[:0]
+	ids := m.idScratch[:0]
+	sb := m.sigBuf[:0]
+	for w, word := range gv.states {
+		for word != 0 {
+			q := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			lo := len(ids)
+			for _, tr := range m.mon.Out(q) {
+				if tr.SelfLoop() {
+					continue
+				}
+				g := m.gt.guard(tr.ID, i)
+				if g.nonEmpty && !g.sat(gv.gstate[i]) {
+					continue
+				}
+				ids = append(ids, tr.ID)
+			}
+			if len(ids) == lo {
 				continue
 			}
-			g := m.gt.guard(tr.ID, i)
-			if g.nonEmpty && !g.sat(gv.gstate[i]) {
-				continue
+			sigLo := len(sb)
+			sb = strconv.AppendInt(sb, int64(q), 10)
+			sb = append(sb, '|')
+			for k := lo; k < len(ids); k++ {
+				if k > lo {
+					sb = append(sb, ',')
+				}
+				sb = strconv.AppendInt(sb, int64(ids[k]), 10)
 			}
-			ids = append(ids, tr.ID)
-		}
-		if len(ids) > 0 {
-			searches = append(searches, stateSearch{q, ids})
-			sigParts = append(sigParts, fmt.Sprintf("%d|%v", q, ids))
+			searches = append(searches, stateSearch{q: q, lo: lo, hi: len(ids), sigLo: sigLo, sigHi: len(sb)})
+			sb = append(sb, ';')
 		}
 	}
+	m.searchScratch, m.idScratch, m.sigBuf = searches, ids, sb
 	if len(searches) == 0 {
 		gv.lastSig = ""
 		return
 	}
-	sig := strings.Join(sigParts, ";")
-	if sig == gv.lastSig {
+	if string(sb) == gv.lastSig { // comparison does not materialize
 		return // §4.3.2: same possibly-enabled set as the previous event
 	}
-	gv.lastSig = sig
-	if m.launched[sig+"@"+gvKey(gv.cut)] {
+	gv.lastSig = string(sb)
+	sb = append(sb, '@')
+	sb = gv.cut.AppendKey(sb)
+	m.sigBuf = sb
+	if m.launched[string(sb)] { // allocation-free probe
 		return
 	}
-	m.launched[sig+"@"+gvKey(gv.cut)] = true
+	m.launched[string(sb)] = true
 	for _, s := range searches {
-		m.launchSearch(gv, s.q, s.ids)
+		m.launchSearch(gv, s.q, ids[s.lo:s.hi], sb[s.sigLo:s.sigHi])
 	}
 }
 
 // launchSearch creates and routes one token (CheckOutgoingTransitions,
 // Algorithm 3) for a single automaton state of the view, unless an
-// equivalent search is already in flight (§4.3.2 suppression).
-func (m *Monitor) launchSearch(gv *globalView, q int, ids []int) {
+// equivalent search is already in flight (§4.3.2 suppression). sigBytes is
+// the state's "q|ids" signature, scratch-backed: it is only materialized to
+// a string once the search actually launches.
+func (m *Monitor) launchSearch(gv *globalView, q int, ids []int, sigBytes []byte) {
 	i := m.cfg.Index
-	sig := fmt.Sprintf("%d|%v", q, ids)
-	if m.activeSig[sig] > 0 {
+	if m.activeSig[string(sigBytes)] > 0 { // allocation-free probe
 		// An equivalent search (same automaton state, same set of possibly
 		// enabled outgoing transitions) is still in flight; its result
 		// covers this view's obligations.
 		return
 	}
+	sig := string(sigBytes)
 	m.searchSeq++
 	t := &tokenWire{
 		Parent:   i,
@@ -967,7 +1088,7 @@ func (m *Monitor) maybeFinalize() {
 	m.finalizing = false
 	for _, key := range m.gvKeys() {
 		gv := m.gvs[key]
-		box, err := exploreBox(m.mon, m.know, m, gv.states, gv.cut, final, m.cfg.MaxBoxNodes)
+		box, err := exploreBox(m.mon, m.know, m.lt, gv.states, gv.cut, final, m.cfg.MaxBoxNodes)
 		if err != nil {
 			m.fail(err)
 			return
@@ -996,7 +1117,7 @@ func (m *Monitor) maybeFinalizeReplicated() {
 	}
 	init := newStateset(m.mon.NumStates())
 	init.set(m.initialQ)
-	box, err := exploreBox(m.mon, m.know, m, init, vclock.New(m.cfg.N), final, m.cfg.MaxBoxNodes)
+	box, err := exploreBox(m.mon, m.know, m.lt, init, vclock.New(m.cfg.N), final, m.cfg.MaxBoxNodes)
 	if err != nil {
 		m.fail(err)
 		return
@@ -1098,12 +1219,14 @@ const floorInf = 1 << 30
 // quiet peers collecting too.
 const floorAnnounceEvery = 256
 
-// gcCollectEvery amortizes the floor recomputation: collectKnowledge runs
-// on every gcCollectEvery-th pump rather than every one, so the hot path
-// pays the O(views × n) scan a fraction of the time. A stale floor is
-// strictly lower than the current one (floors are monotone), so skipped
-// pumps only delay collection, never over-collect.
-const gcCollectEvery = 8
+// gcCollectEveryInputs amortizes the floor recomputation: collectKnowledge
+// runs once per this many handled inputs (local events or messages) rather
+// than on every pump, so the hot path pays the O(views × n) scan a fraction
+// of the time. The cadence is measured in inputs, not pumps, so batched pump
+// rounds (pumpBatch) do not stretch the collection interval. A stale floor
+// is strictly lower than the current one (floors are monotone), so skipped
+// runs only delay collection, never over-collect.
+const gcCollectEveryInputs = 16
 
 // noteFloor folds a peer's reported need-floor into our view of the global
 // minimal cut. Floors only ever advance, so a stale report merges away.
@@ -1153,9 +1276,10 @@ func (m *Monitor) collectKnowledge() {
 		// initial cut at termination; nothing is ever collectible.
 		return
 	}
-	if m.pumpSeq++; m.pumpSeq%gcCollectEvery != 1 {
+	if m.curFloor != nil && m.inputSeq-m.lastGC < gcCollectEveryInputs {
 		return
 	}
+	m.lastGC = m.inputSeq
 	m.curFloor = m.needFloor()
 	trunc := m.curFloor.Clone()
 	i := m.cfg.Index
@@ -1209,17 +1333,32 @@ func (m *Monitor) send(to int, msg *wireMsg) {
 	}
 }
 
+// broadcast encodes msg once and sends the same payload to every peer. The
+// floor piggyback is identical for all recipients (it is set before
+// encoding), and sharing the payload bytes is safe: the transport and the
+// receivers treat payloads as read-only.
 func (m *Monitor) broadcast(msg *wireMsg) {
+	if m.cfg.Mode == ModeDecentralized && m.curFloor != nil {
+		msg.Floor = m.curFloor
+	}
+	payload, err := encodeMsg(msg)
+	if err != nil {
+		m.fail(err)
+		return
+	}
 	for j := 0; j < m.cfg.N; j++ {
-		if j != m.cfg.Index {
-			m.send(j, msg)
+		if j == m.cfg.Index {
+			continue
+		}
+		if msg.Floor != nil {
+			m.sentFloor[j] = m.curFloor
+		}
+		m.metrics.MessagesSent++
+		if err := m.ep.Send(j, payload); err != nil {
+			m.fail(err)
+			return
 		}
 	}
-}
-
-// letterAt implements the box explorer's letterer.
-func (m *Monitor) letterAt(know *knowledge, cut vclock.VC) uint32 {
-	return m.pm.Letter(know.stateAt(cut))
 }
 
 // DebugString renders the monitor's exploration state (tests and the dlmon

@@ -38,6 +38,9 @@ type RunConfig struct {
 	// feeder blocks (backpressure); 0 selects DefaultMaxLag, negative
 	// disables. See SessionConfig.MaxLag.
 	MaxLag int
+	// Shards selects the pump scheduler (see SessionConfig.Shards): 0 auto,
+	// 1 serial goroutine-per-monitor, >1 a work-stealing pool of that size.
+	Shards int
 }
 
 // RunResult aggregates the outcome of a run.
@@ -75,6 +78,11 @@ func (r *RunResult) VerdictList() []automaton.Verdict {
 	return out
 }
 
+// feedChunk is the unpaced replay's feeding batch size. Kept modest: a chunk
+// parks invisibly in the monitor's feed queue until absorbed, so oversized
+// chunks would loosen the backpressure gate's view of the backlog.
+const feedChunk = 16
+
 // session builds the online Session a replay adapter feeds.
 func session(ctx context.Context, cfg RunConfig, pm *dist.PropMap, n int, init dist.GlobalState) (*Session, error) {
 	if n == 0 {
@@ -90,6 +98,7 @@ func session(ctx context.Context, cfg RunConfig, pm *dist.PropMap, n int, init d
 		Network:      cfg.Network,
 		MaxBoxNodes:  cfg.MaxBoxNodes,
 		MaxLag:       cfg.MaxLag,
+		Shards:       cfg.Shards,
 	})
 }
 
@@ -120,6 +129,25 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 		feedWG.Add(1)
 		go func(i int, tr *dist.Trace) {
 			defer feedWG.Done()
+			if cfg.Pace <= 0 {
+				// Unpaced replay: feed in chunks, amortizing the admission
+				// gate and the monitor handoff (verdict-set equivalent to
+				// per-event feeding; the batch only changes arrival grouping).
+				evs := tr.Events
+				for len(evs) > 0 {
+					k := feedChunk
+					if k > len(evs) {
+						k = len(evs)
+					}
+					if err := s.FeedBatch(evs[:k]); err != nil {
+						feedErrs[i] = err
+						return
+					}
+					evs = evs[k:]
+				}
+				feedErrs[i] = s.End(i)
+				return
+			}
 			prev := 0.0
 			for _, e := range tr.Events {
 				pace(cfg.Pace, e.Time, &prev)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/dist"
+	"decentmon/internal/props"
+)
+
+// TestShardedSchedulerRace is the shard-scheduler stress test: the calibrated
+// 16-process workload runs over every generator topology through a *forced*
+// multi-worker work-stealing pool (so the path is exercised even when
+// GOMAXPROCS is 1), and its verdict set must equal the serial
+// goroutine-per-monitor path's on the same traces. Run it under `go test
+// -race` to check the single-writer handoff invariant of sched.go: the race
+// detector sees every intake→worker and worker→intake transfer.
+func TestShardedSchedulerRace(t *testing.T) {
+	mon, pm, err := props.BuildAt("B", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := dist.Topologies
+	if testing.Short() {
+		// -short (the CI race job) still crosses the sharded/serial pair on
+		// the two structurally extreme topologies.
+		topos = []dist.Topology{dist.TopoRing, dist.TopoBroadcast}
+	}
+	for _, topo := range topos {
+		t.Run(topo.String(), func(t *testing.T) {
+			// Broadcast needs sparser communication to stay in the engine's
+			// tractable regime: every send fans out to 15 receives, so at the
+			// ring's density each event's vector clock entangles nearly the
+			// whole computation and the least consistent cut enabling a guard
+			// sits far above early search origins — the exact region between
+			// them exceeds any workable MaxBoxNodes, in serial and sharded
+			// runs alike (the box-explosion mode documented in
+			// PERFORMANCE.md).
+			commMu := 6.0
+			if topo == dist.TopoBroadcast {
+				commMu = 12
+			}
+			ts, err := dist.Generate(dist.GenConfig{
+				N: 16, InternalPerProc: 4, CommMu: commMu, CommSigma: 1,
+				Topology: topo, PlantGoal: true, Seed: 1,
+				TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+			}).WithProps(pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(shards int) map[automaton.Verdict]bool {
+				// MaxLag keeps the backpressure gate in the loop so the race
+				// run also crosses admission credits with sharded pumping.
+				res, err := Run(RunConfig{
+					Traces: ts, Automaton: mon, SkipFinalize: true, Shards: shards, MaxLag: 64,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res.Verdicts
+			}
+			sharded := run(4)
+			serial := run(1)
+			if setString(sharded) != setString(serial) {
+				t.Errorf("sharded verdicts %s != serial %s", setString(sharded), setString(serial))
+			}
+		})
+	}
+}
+
+// TestSchedulerPoolDrains pins the pool mechanics directly: many submitters,
+// all tasks run exactly once, close() returns with nothing in flight.
+func TestSchedulerPoolDrains(t *testing.T) {
+	sched := newScheduler(4)
+	const tasks = 1000
+	var ran [tasks]int32
+	var wg sync.WaitGroup
+	wg.Add(tasks)
+	for i := 0; i < tasks; i++ {
+		i := i
+		sched.submit(func() {
+			ran[i]++
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	sched.close()
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, c)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +50,13 @@ type SessionConfig struct {
 	// negative value disables backpressure. Replicated mode, which retains
 	// everything by design, never applies backpressure.
 	MaxLag int
+	// Shards selects the pump scheduler. 0 (auto) runs pump work on a
+	// work-stealing pool of min(GOMAXPROCS, N) workers when that is at least
+	// 2, and on the serial goroutine-per-monitor loop otherwise; 1 forces
+	// the serial loop; larger values force a pool of that many workers.
+	// Both paths share every handler and produce identical verdict sets
+	// (see sched.go for the single-writer safety argument).
+	Shards int
 }
 
 // VerdictEvent is one incremental verdict detection, delivered on
@@ -85,6 +93,7 @@ type Session struct {
 	cancel   context.CancelFunc
 	nw       transport.Network
 	monitors []*Monitor
+	sched    *scheduler // nil when running serial goroutine-per-monitor
 	verdicts chan VerdictEvent
 
 	wg   sync.WaitGroup
@@ -208,11 +217,19 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		m.onProgress = s.signalRelief
 		s.monitors = append(s.monitors, m)
 	}
+	if p := shardWorkers(cfg.Shards, cfg.N); p > 1 {
+		s.sched = newScheduler(p)
+	}
 	for i, m := range s.monitors {
 		s.wg.Add(1)
 		go func(i int, m *Monitor) {
 			defer s.wg.Done()
-			err := m.Run(s.ctx)
+			var err error
+			if s.sched != nil {
+				err = m.RunSharded(s.ctx, s.sched)
+			} else {
+				err = m.Run(s.ctx)
+			}
 			s.errs[i] = err
 			if err != nil {
 				// A dead monitor dooms the run: cancel so feeders and the
@@ -223,6 +240,22 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 		}(i, m)
 	}
 	return s, nil
+}
+
+// shardWorkers resolves SessionConfig.Shards to a pump-pool size (0 or 1
+// means: run serial).
+func shardWorkers(shards, n int) int {
+	switch {
+	case shards == 1 || n < 2:
+		return 1
+	case shards > 1:
+		return shards
+	}
+	p := runtime.GOMAXPROCS(0)
+	if p > n {
+		p = n
+	}
+	return p
 }
 
 func (s *Session) emitVerdict(monitor, state int, v automaton.Verdict, cut vclock.VC) {
@@ -286,8 +319,16 @@ func (s *Session) progress() int64 {
 // pinned by work that needs future events (e.g. an unresolved reachability
 // search), and the gate opens for a bounded batch — memory then grows as
 // the workload inherently requires, but the replay never deadlocks.
-func (s *Session) admit() error {
-	if s.maxLag <= 0 {
+func (s *Session) admit() error { return s.admitN(1) }
+
+// admitN is admit for a batch of k events, consuming credits batch-wise: a
+// single gate pass admits the whole batch once enough progress (or bypass
+// burst) has accrued, so batched feeding pays the gauge scan once per batch
+// instead of once per event. Free admission below the lag bound covers the
+// entire batch — the bound is a backlog threshold, not a rate, and a batch
+// is bounded by the feeders' chunk size.
+func (s *Session) admitN(k int) error {
+	if s.maxLag <= 0 || k <= 0 {
 		return s.ctx.Err()
 	}
 	s.gateMu.Lock()
@@ -298,7 +339,7 @@ func (s *Session) admit() error {
 			timer.Stop()
 		}
 	}()
-	for {
+	for k > 0 {
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
@@ -311,14 +352,23 @@ func (s *Session) admit() error {
 			s.bypassLeft = 0
 			return nil
 		}
-		if prog > s.lastProgress {
-			s.lastProgress++ // consume one credit
+		if avail := prog - s.lastProgress; avail > 0 {
+			if avail > int64(k) {
+				avail = int64(k)
+			}
+			s.lastProgress += avail // consume credits
+			k -= int(avail)
 			s.bypassLeft = 0
-			return nil
+			continue
 		}
 		if s.bypassLeft > 0 {
-			s.bypassLeft--
-			return nil
+			take := s.bypassLeft
+			if take > k {
+				take = k
+			}
+			s.bypassLeft -= take
+			k -= take
+			continue
 		}
 		if timer == nil {
 			timer = time.NewTimer(feedGrace)
@@ -336,10 +386,10 @@ func (s *Session) admit() error {
 		case <-timer.C:
 			// One grace window buys a burst no larger than the lag bound,
 			// so a pinned backlog cannot flood the monitors unboundedly.
-			s.bypassLeft = s.maxLag - 1
-			return nil
+			s.bypassLeft = s.maxLag
 		}
 	}
+	return nil
 }
 
 // Feed delivers one pre-stamped event to its process's monitor, blocking
@@ -376,6 +426,55 @@ func (s *Session) Feed(e *dist.Event) error {
 	}
 	s.mu.Lock()
 	s.fed[e.Proc]++
+	s.mu.Unlock()
+	return nil
+}
+
+// FeedBatch delivers a batch of consecutive events of a single process in
+// one admission-gate pass and one monitor handoff. All events must belong to
+// the same process, in sequence-number order; the session takes ownership of
+// the events (the slice itself is copied). Equivalent to calling Feed for
+// each event, with per-event overhead amortized over the batch.
+func (s *Session) FeedBatch(events []*dist.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	p := -1
+	for _, e := range events {
+		if e == nil {
+			return fmt.Errorf("core: session fed a nil event")
+		}
+		if p == -1 {
+			p = e.Proc
+		} else if e.Proc != p {
+			return fmt.Errorf("core: batch mixes events of processes %d and %d", p, e.Proc)
+		}
+	}
+	if p < 0 || p >= s.cfg.N {
+		return fmt.Errorf("core: stream event of nonexistent process %d", p)
+	}
+	s.feedMu[p].Lock()
+	defer s.feedMu[p].Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: session closed")
+	}
+	if s.ended[p] {
+		s.mu.Unlock()
+		return fmt.Errorf("core: process %d already ended", p)
+	}
+	s.mu.Unlock()
+	if err := s.admitN(len(events)); err != nil {
+		return err
+	}
+	owned := make([]*dist.Event, len(events))
+	copy(owned, events)
+	if err := s.monitors[p].DeliverBatchContext(s.ctx, owned); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.fed[p] += len(events)
 	s.mu.Unlock()
 	return nil
 }
@@ -421,6 +520,12 @@ func (s *Session) Close() (*RunResult, error) {
 		s.End(p) // a cancelled context is surfaced below, not here
 	}
 	s.wg.Wait()
+	if s.sched != nil {
+		// After every monitor goroutine has returned: in-flight pump tasks
+		// finish, queued ones are discarded, and no task code runs afterwards
+		// — collect below reads monitor state race-free (sched.go).
+		s.sched.close()
+	}
 	s.nw.Close()
 	res, err := s.collect()
 	s.cancel()

@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -610,6 +611,164 @@ func measureOracle(property string, n int, cfg Config) (*OracleCell, error) {
 	}
 	cell.Verdicts = verdictString(verdicts)
 	cell.Complete = complete
+	return cell, nil
+}
+
+// --- engine throughput sweep (the BENCH_engine.json trajectory) ---
+
+// EngineCell is one row of the engine hot-path benchmark: a full
+// decentralized detection run of the arity-3 reachability property on one
+// (topology, n) workload, repeated until the measurement is stable, with
+// throughput and per-event allocation cost. The CI bench job serializes the
+// sweep as BENCH_engine.json; the copy committed at the repository root is
+// the engine's perf trajectory (see PERFORMANCE.md for the field-by-field
+// reading guide).
+type EngineCell struct {
+	Workload       string  `json:"workload"` // "<topology>/n=<n>"
+	Topology       string  `json:"topology"`
+	N              int     `json:"n"`
+	CommMu         float64 `json:"comm_mu"`
+	Events         int     `json:"events"` // program events per run (internal+send+recv)
+	Reps           int     `json:"reps"`   // timed repetitions averaged
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`  // heap bytes allocated / event
+	AllocsPerEvent float64 `json:"allocs_per_event"` // heap objects allocated / event
+	Verdicts       string  `json:"verdicts"`
+}
+
+// EngineBench is the BENCH_engine.json document: the sweep cells plus the
+// pre-overhaul baseline they are measured against. The baseline is the
+// calibrated n=16 ring regime (the BenchmarkDecentralizedRun16 workload) as
+// measured immediately before the hot-path overhaul, so the speedup column
+// tracks the whole engine trajectory across PRs, not just run-to-run noise.
+type EngineBench struct {
+	Date  string `json:"date"`
+	GoMax int    `json:"gomaxprocs"`
+	// Baseline: events/s of the n=16 ring cell at the pre-overhaul commit.
+	BaselineCommit       string  `json:"baseline_commit"`
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	// Speedup = (n=16 ring cell events/s) / BaselineEventsPerSec.
+	SpeedupN16Ring float64       `json:"speedup_n16_ring"`
+	Cells          []*EngineCell `json:"cells"`
+}
+
+// engineBaseline pins the pre-overhaul reference measurement: the calibrated
+// n=16 ring workload ran at ~1.7k events/s on the CI-class 1-CPU box at the
+// commit before the hot-path overhaul landed.
+const (
+	engineBaselineCommit       = "b625045"
+	engineBaselineEventsPerSec = 1711.0
+)
+
+// engineWorkloads is the sweep plan: the ring scaling axis (n = 2..32) and
+// the topology axis at n = 8. Communication density is the calibrated
+// Commµ = 6 everywhere; every workload stays inside the engine's tractable
+// region at that density (the box-explosion mode is a property of *denser*
+// broadcast workloads — see PERFORMANCE.md).
+var engineWorkloads = []struct {
+	topo dist.Topology
+	n    int
+}{
+	{dist.TopoRing, 2}, {dist.TopoRing, 8}, {dist.TopoRing, 16}, {dist.TopoRing, 32},
+	{dist.TopoUniform, 8}, {dist.TopoRing, 8}, {dist.TopoStar, 8},
+	{dist.TopoBroadcast, 8}, {dist.TopoClustered, 8},
+}
+
+// EngineSweep measures the full engine workload plan. minWall is the minimum
+// measured wall time per cell (repetitions scale to reach it; <=0 takes
+// 200ms). The returned document embeds the pinned pre-overhaul baseline.
+func EngineSweep(minWall time.Duration) (*EngineBench, error) {
+	if minWall <= 0 {
+		minWall = 200 * time.Millisecond
+	}
+	doc := &EngineBench{
+		Date:                 time.Now().UTC().Format(time.RFC3339),
+		GoMax:                runtime.GOMAXPROCS(0),
+		BaselineCommit:       engineBaselineCommit,
+		BaselineEventsPerSec: engineBaselineEventsPerSec,
+	}
+	seen := map[string]bool{}
+	for _, w := range engineWorkloads {
+		cell, err := MeasureEngine(w.topo, w.n, minWall)
+		if err != nil {
+			return nil, err
+		}
+		if seen[cell.Workload] {
+			continue // the plan lists ring/8 on both axes; keep one row
+		}
+		seen[cell.Workload] = true
+		doc.Cells = append(doc.Cells, cell)
+		if w.topo == dist.TopoRing && w.n == 16 {
+			doc.SpeedupN16Ring = cell.EventsPerSec / engineBaselineEventsPerSec
+		}
+	}
+	return doc, nil
+}
+
+// MeasureEngine times repeated decentralized runs of one engine workload.
+// The property is B at arity 3 (arity 2 when n = 2: the arity-3 instance
+// names a third process), detection-only, over the calibrated generator
+// regime of BenchmarkDecentralizedRun16. Heap cost is read from the
+// runtime's allocation counters around the timed repetitions, so
+// bytes/allocs per event include every layer: generator-free replay,
+// transport, codec, and monitor state.
+func MeasureEngine(topo dist.Topology, n int, minWall time.Duration) (*EngineCell, error) {
+	arity := 3
+	if n < arity {
+		arity = n
+	}
+	mon, pm, err := props.BuildAt("B", arity, false)
+	if err != nil {
+		return nil, err
+	}
+	gc := dist.GenConfig{
+		N: n, InternalPerProc: 4, CommMu: 6, CommSigma: 1,
+		Topology: topo, PlantGoal: true, Seed: 1,
+		TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+	}
+	if 2*n > dist.MaxProps {
+		gc.Suffixes = []string{"p"} // q then reads constantly false (see genConfig)
+	}
+	ts, err := dist.Generate(gc).WithProps(pm)
+	if err != nil {
+		return nil, err
+	}
+	cell := &EngineCell{
+		Workload: fmt.Sprintf("%s/n=%d", topo, n),
+		Topology: topo.String(), N: n, CommMu: gc.CommMu,
+		Events: ts.TotalEvents(),
+	}
+	runOnce := func() (map[automaton.Verdict]bool, error) {
+		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Verdicts, nil
+	}
+	// Warm-up run: pools fill, lazily-built tables build, verdicts recorded.
+	verdicts, err := runOnce()
+	if err != nil {
+		return nil, fmt.Errorf("engine %s: %w", cell.Workload, err)
+	}
+	cell.Verdicts = verdictString(verdicts)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < minWall {
+		if _, err := runOnce(); err != nil {
+			return nil, fmt.Errorf("engine %s: %w", cell.Workload, err)
+		}
+		cell.Reps++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&ms1)
+	totalEvents := float64(cell.Events) * float64(cell.Reps)
+	cell.EventsPerSec = totalEvents / elapsed.Seconds()
+	cell.NsPerEvent = float64(elapsed.Nanoseconds()) / totalEvents
+	cell.BytesPerEvent = float64(ms1.TotalAlloc-ms0.TotalAlloc) / totalEvents
+	cell.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / totalEvents
 	return cell, nil
 }
 

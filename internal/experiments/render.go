@@ -138,3 +138,21 @@ func RenderBaselines(rows []*BaselineRow) string {
 	}
 	return renderTable(header, body)
 }
+
+// RenderEngineCells renders the engine throughput sweep with its baseline
+// header (the BENCH_engine.json document in table form).
+func RenderEngineCells(doc *EngineBench) string {
+	header := []string{"workload", "events", "reps", "events/s", "ns/event", "B/event", "allocs/event", "verdicts"}
+	var body [][]string
+	for _, c := range doc.Cells {
+		body = append(body, []string{
+			c.Workload, fmt.Sprint(c.Events), fmt.Sprint(c.Reps),
+			fmt.Sprintf("%.0f", c.EventsPerSec), fmt.Sprintf("%.0f", c.NsPerEvent),
+			fmt.Sprintf("%.0f", c.BytesPerEvent), fmt.Sprintf("%.2f", c.AllocsPerEvent),
+			c.Verdicts,
+		})
+	}
+	return fmt.Sprintf("baseline %s: %.0f events/s (ring/n=16) → speedup %.1fx\n%s",
+		doc.BaselineCommit, doc.BaselineEventsPerSec, doc.SpeedupN16Ring,
+		renderTable(header, body))
+}

@@ -24,18 +24,28 @@ func WithLatency(mu, sigma time.Duration, seed int64) ChanOption {
 }
 
 // ChanNetwork is the in-memory Network used by tests, benchmarks and the
-// experiment harness. Every ordered pair of endpoints has its own FIFO
-// queue drained by a dedicated goroutine, so per-pair order is preserved
-// while cross-pair interleaving is arbitrary — the weakest ordering the
-// paper's algorithm must tolerate.
+// experiment harness.
+//
+// Queue topology is sharded by configuration. Without latency, each
+// *destination* has one FIFO queue drained by one goroutine (n drainers
+// total): every sender enqueues from its monitor's single run-loop goroutine
+// in program order, and a FIFO queue preserves each sender's subsequence, so
+// per-pair FIFO holds while cross-pair interleaving stays arbitrary — the
+// weakest ordering the paper's algorithm must tolerate. With latency, every
+// ordered *pair* keeps its own queue and drainer (n·(n−1) of them): delays
+// are drawn per pair from a deterministic seed, and sleeping in a shared
+// destination drainer would head-of-line-block the other senders.
 type ChanNetwork struct {
-	n      int
-	eps    []*chanEndpoint
-	queues map[[2]int]*unboundedQueue
-	stats  Stats
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	closed bool
+	n   int
+	eps []*chanEndpoint
+	// destQueues[to] shards by destination (no-latency fast path); queues
+	// holds the per-pair topology (latency mode). Exactly one is non-nil.
+	destQueues []*unboundedQueue
+	queues     map[[2]int]*unboundedQueue
+	stats      Stats
+	wg         sync.WaitGroup
+	mu         sync.Mutex
+	closed     bool
 	// stop is closed at the start of Close so drain goroutines blocked on a
 	// full inbox of an already-departed monitor (e.g. after a session's
 	// context was cancelled) unblock instead of wedging Close forever.
@@ -54,10 +64,21 @@ func NewChanNetwork(n int, opts ...ChanOption) *ChanNetwork {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	nw := &ChanNetwork{n: n, queues: map[[2]int]*unboundedQueue{}, stop: make(chan struct{})}
+	nw := &ChanNetwork{n: n, stop: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		nw.eps = append(nw.eps, &chanEndpoint{id: i, net: nw, inbox: make(chan Message, 1024)})
 	}
+	if cfg.latencyMu <= 0 {
+		nw.destQueues = make([]*unboundedQueue, n)
+		for to := 0; to < n; to++ {
+			q := newUnboundedQueue()
+			nw.destQueues[to] = q
+			nw.wg.Add(1)
+			go nw.drain(q, nw.eps[to].inbox, cfg, int64(to))
+		}
+		return nw
+	}
+	nw.queues = map[[2]int]*unboundedQueue{}
 	for from := 0; from < n; from++ {
 		for to := 0; to < n; to++ {
 			if from == to {
@@ -128,6 +149,9 @@ func (nw *ChanNetwork) Close() error {
 	for _, q := range nw.queues {
 		q.close()
 	}
+	for _, q := range nw.destQueues {
+		q.close()
+	}
 	close(nw.stop)
 	nw.wg.Wait()
 	for _, ep := range nw.eps {
@@ -153,7 +177,12 @@ func (e *chanEndpoint) Send(to int, payload []byte) error {
 	if closed {
 		return errClosed
 	}
-	q := e.net.queues[[2]int{e.id, to}]
+	var q *unboundedQueue
+	if e.net.destQueues != nil {
+		q = e.net.destQueues[to]
+	} else {
+		q = e.net.queues[[2]int{e.id, to}]
+	}
 	msg := Message{From: e.id, To: to, Payload: payload}
 	if !q.push(msg) {
 		return errClosed

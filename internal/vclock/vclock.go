@@ -6,7 +6,7 @@ package vclock
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // VC is a vector clock over n processes. VC[i] counts the events of process
@@ -102,15 +102,20 @@ func (v VC) Equal(w VC) bool {
 }
 
 // Key returns a compact string usable as a map key.
-func (v VC) Key() string {
-	var b strings.Builder
+func (v VC) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey appends the clock's Key representation to dst and returns the
+// extended slice. Hot paths keep a scratch buffer and look maps up with
+// m[string(v.AppendKey(buf[:0]))], which the compiler compiles to an
+// allocation-free lookup; only map *insertions* materialize the string.
+func (v VC) AppendKey(dst []byte) []byte {
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(&b, "%d", x)
+		dst = strconv.AppendInt(dst, int64(x), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // String renders the clock as ⟨a,b,...⟩ for debugging output.

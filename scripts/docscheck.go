@@ -1,0 +1,83 @@
+//go:build ignore
+
+// docscheck is the documentation lint: it walks every Markdown file in the
+// repository and verifies that relative links point at files that exist, so
+// README/ARCHITECTURE/PERFORMANCE cross-references cannot rot silently.
+// External (http/https/mailto) links are not fetched — CI must not depend
+// on the network — and pure intra-page anchors are skipped.
+//
+// Usage: go run scripts/docscheck.go [root]
+//
+// Exits nonzero listing every broken link. Stdlib only, like the rest of
+// the repo's tooling.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images: [text](target) — the
+// target up to the first ')', '#' fragment split off later.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "bin" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			ref := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(ref); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q (%s)", path, m[1], ref))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all relative Markdown links resolve")
+}

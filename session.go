@@ -122,6 +122,7 @@ func newSession(spec *Spec, n int, o options) (*Session, error) {
 		Network:      o.cfg.Network,
 		MaxBoxNodes:  o.cfg.MaxBoxNodes,
 		MaxLag:       o.cfg.MaxLag,
+		Shards:       o.cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
