@@ -364,6 +364,39 @@ func BenchmarkDecentralizedRun16(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkBoxBroadcast16 measures the dense-broadcast workload the sliced
+// box sweep made tractable: the calibrated 16-process regime over broadcast
+// at the ring's communication density (Commµ = 6). The full-width exact DP
+// deterministically dies on its node budget here (the conformance suite pins
+// that in TestDenseBroadcastSlicedTractable); the default sliced engine
+// explores the arity-3 property's 3-dimensional projected region instead.
+func BenchmarkBoxBroadcast16(b *testing.B) {
+	mon, pm, err := props.BuildAt("B", 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := dist.Generate(dist.GenConfig{
+		N: 16, InternalPerProc: 4, CommMu: 6, CommSigma: 1,
+		Topology: dist.TopoBroadcast, PlantGoal: true, Seed: 1,
+		TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+	}).WithProps(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := int64(ts.TotalEvents())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verdicts[automaton.Top] {
+			b.Fatal("goal verdict lost")
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkCentralMonitor measures the online centralized baseline.
 func BenchmarkCentralMonitor(b *testing.B) {
 	ts := dist.Generate(dist.GenConfig{

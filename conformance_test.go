@@ -3,9 +3,11 @@ package decentmon
 import (
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"decentmon/internal/central"
+	"decentmon/internal/core"
 )
 
 // The cross-engine conformance gauntlet: every engine of the repository —
@@ -283,6 +285,17 @@ func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 		t.Fatal(err)
 	}
 	checkSoundConclusiveComplete(t, "decentralized", dec.Verdicts, oracle)
+	// Box-strategy axis: the same run with the legacy full-width exact DP
+	// forced. Both strategies must satisfy the decentralized contract and
+	// agree with each other on the conclusive verdicts.
+	decEx, err := Run(spec, ts, WithExactBoxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSoundConclusiveComplete(t, "decentralized/exact-boxes", decEx.Verdicts, oracle)
+	if g, w := conclusives(decEx.Verdicts), conclusives(dec.Verdicts); g != w {
+		t.Errorf("box strategies disagree: exact %q != sliced %q", g, w)
+	}
 	rep, err := Run(spec, ts, Replicated())
 	if err != nil {
 		t.Fatal(err)
@@ -350,6 +363,17 @@ func conformLarge(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 	}
 	if got := conclusives(dec.Verdicts); got != wantConc {
 		t.Errorf("decentralized conclusive %q != oracle %q (oracle set %v)", got, wantConc, oracle.Verdicts)
+	}
+	// Box-strategy axis: the legacy exact DP on the same cell (these cells
+	// are calibrated to stay inside its tractable region; the genuinely
+	// explosive dense-broadcast pairing is pinned separately by
+	// TestDenseBroadcastSlicedTractable).
+	decEx, err := Run(spec, ts, WithoutFinalization(), WithExactBoxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := conclusives(decEx.Verdicts); got != wantConc {
+		t.Errorf("decentralized/exact-boxes conclusive %q != oracle %q (oracle set %v)", got, wantConc, oracle.Verdicts)
 	}
 	path, err := RunBounded(spec, ts.Stream())
 	if err != nil {
@@ -429,5 +453,63 @@ func TestLargeNDecentralizedSlicedCrossCheck(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestDenseBroadcastSlicedTractable pins the workload the sliced sweep was
+// built for: broadcast at n = 16 with Commµ = 6 makes every clock causally
+// dense, so the full-width region between a monitor's cut and its knowledge
+// frontier spans most of the 16-dimensional lattice and the exact DP *must*
+// die on its node budget — the gauntlet has always excluded this pairing for
+// exactly that reason. Slicing the same region onto the arity-3 property's
+// three support processes collapses it to a 3-dimensional projected poset:
+// under the same node budget the run completes and its conclusive verdicts
+// match the sliced oracle. Both runs share one explicit MaxBoxNodes so the
+// cell stays cheap: what is being pinned is the asymmetry, not the default
+// budget's exact value.
+func TestDenseBroadcastSlicedTractable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the exploding exact DP up to its node budget")
+	}
+	spec := gauntletSpec(t, "B", 3)
+	// The calibrated 16-process engine workload (the same regime the engine
+	// benchmarks and the scheduler stress test use), over broadcast at the
+	// ring's communication density.
+	ts, err := Generate(GenConfig{
+		N: 16, InternalPerProc: 4, CommMu: 6, CommSigma: 1,
+		Topology: TopoBroadcast, PlantGoal: true, Seed: 1,
+		TrueProbs: map[string]float64{"p": 0.9, "q": 0.8},
+	}).WithProps(spec.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 1 << 18
+	_, err = core.Run(core.RunConfig{
+		Traces: ts, Automaton: spec.mon, SkipFinalize: true,
+		ExactBoxes: true, MaxBoxNodes: budget,
+	})
+	if err == nil {
+		t.Fatal("exact DP completed the dense-broadcast cell — the explosion fixture lost its teeth (tighten the workload or drop the cell)")
+	}
+	if !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("exact DP failed for the wrong reason: %v", err)
+	}
+
+	oracle, err := EvaluateOracle(spec, ts, OracleConfig{Mode: OracleSliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.Complete {
+		t.Fatal("sliced oracle not complete — support exceeds arity?")
+	}
+	res, err := core.Run(core.RunConfig{
+		Traces: ts, Automaton: spec.mon, SkipFinalize: true,
+		MaxBoxNodes: budget,
+	})
+	if err != nil {
+		t.Fatalf("sliced run under the same node budget: %v", err)
+	}
+	if got, want := conclusives(res.Verdicts), conclusives(oracle.VerdictSet()); got != want {
+		t.Errorf("sliced conclusive %q != sliced oracle %q (oracle set %v)", got, want, oracle.Verdicts)
 	}
 }

@@ -352,6 +352,19 @@ func WithShards(k int) Option {
 	return func(o *options) { o.cfg.Shards = k }
 }
 
+// WithExactBoxes forces the full-width exact DP for every lattice-box
+// exploration. By default, a ○-free property whose propositions touch only
+// a proper subset of the processes is explored *sliced*: each box region is
+// projected onto the property's support processes before sweeping, which is
+// verdict-exact for stutter-invariant properties (LTL without ○) and turns
+// dense-broadcast workloads from a deterministic MaxBoxNodes failure into a
+// tractable run (see PERFORMANCE.md "Explosion modes"). Properties with ○
+// always use the exact DP; this option exists to pin the exact strategy for
+// cross-checks and A/B measurements.
+func WithExactBoxes() Option {
+	return func(o *options) { o.cfg.ExactBoxes = true }
+}
+
 // WithInitialState sets the initial global state of an online session (one
 // LocalState per process, defaults to all-zero valuations). Sessions only;
 // replays take the initial state from the trace header.
@@ -410,6 +423,9 @@ func (o *options) checkBounded(entry string) error {
 	}
 	if o.cfg.Shards != 0 {
 		return fmt.Errorf("decentmon: %s evaluates a single path serially; WithShards applies to the decentralized engine", entry)
+	}
+	if o.cfg.ExactBoxes {
+		return fmt.Errorf("decentmon: %s explores no lattice boxes; WithExactBoxes applies to the decentralized engine", entry)
 	}
 	return nil
 }

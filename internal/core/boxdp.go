@@ -20,7 +20,8 @@ type boxResult struct {
 	// conclusive are the conclusive states hit anywhere in the box, with
 	// the first cut each was discovered at.
 	conclusive []pivot
-	// nodes is the number of consistent cuts visited.
+	// nodes is the number of consistent cuts visited (projected cuts under
+	// slicing — the quantity MaxBoxNodes bounds either way).
 	nodes int
 }
 
@@ -29,25 +30,24 @@ type pivot struct {
 	cut vclock.VC
 }
 
-// exploreBox runs the exact state-set dynamic program over the consistent
-// cuts D with lo ≤ D ≤ hi, starting from the automaton states init at lo.
-// The monitor's knowledge must cover every event in (lo, hi]. This is the
-// same layered DP as the Chapter-3 oracle, restricted to the box — it is how
-// a monitor turns the event segments gathered by a token into *verified*
-// lattice paths (soundness) while still only ever expanding regions that can
-// change the automaton state.
+// exploreBox explores the consistent cuts D with lo ≤ D ≤ hi, starting from
+// the automaton states init at lo. The monitor's knowledge must cover every
+// event in (lo, hi]. Two strategies share this entry point:
 //
-// Each node caches the letter at its cut, maintained incrementally through
-// the letterTable (one edge changes one process's bits), so the explorer
-// never materializes a GlobalState per node; map lookups go through a scratch
-// key buffer (m[string(buf)] compiles to an allocation-free lookup), so only
-// node *insertion* allocates.
+//   - support == nil: the exact full-width state-set DP (exploreBoxExact) —
+//     the same layered DP as the Chapter-3 oracle, restricted to the box.
+//   - support != nil: the sliced rank-synchronous sweep (exploreBoxSliced) —
+//     the region is projected onto the property's support processes before
+//     sweeping, which is verdict-exact for ○-free (stutter-invariant)
+//     properties; the monitor computes the support slice once in New and
+//     passes nil whenever the exact DP is required (○ in the formula, no
+//     formula attached, support spanning every process, or Config.ExactBoxes).
 //
 // maxNodes bounds the exploration; exceeding it returns an error (the
-// monitor surfaces it — the paper's workloads never approach the bound).
-func exploreBox(mon *automaton.Monitor, know *knowledge, lt *letterTable, init stateset, lo, hi vclock.VC, maxNodes int) (*boxResult, error) {
-	n := know.n
-	for p := 0; p < n; p++ {
+// monitor surfaces it — under slicing the bound counts projected nodes, so
+// workloads whose full-width region explodes stay far below it).
+func exploreBox(mon *automaton.Monitor, know *knowledge, lt *letterTable, init stateset, lo, hi vclock.VC, maxNodes int, support []int) (*boxResult, error) {
+	for p := 0; p < know.n; p++ {
 		if lo[p] > hi[p] {
 			return nil, fmt.Errorf("core: box lower bound %v above upper %v", lo, hi)
 		}
@@ -55,6 +55,24 @@ func exploreBox(mon *automaton.Monitor, know *knowledge, lt *letterTable, init s
 			return nil, fmt.Errorf("core: box upper bound %v not covered by knowledge (process %d has %d events)", hi, p, know.len(p))
 		}
 	}
+	if support == nil {
+		return exploreBoxExact(mon, know, lt, init, lo, hi, maxNodes)
+	}
+	return exploreBoxSliced(mon, know, lt, init, lo, hi, maxNodes, support)
+}
+
+// exploreBoxExact runs the exact state-set dynamic program over every
+// consistent cut of the box. It is how a monitor turns the event segments
+// gathered by a token into *verified* lattice paths (soundness) while still
+// only ever expanding regions that can change the automaton state.
+//
+// Each node caches the letter at its cut, maintained incrementally through
+// the letterTable (one edge changes one process's bits), so the explorer
+// never materializes a GlobalState per node; map lookups go through a scratch
+// key buffer (m[string(buf)] compiles to an allocation-free lookup), so only
+// node *insertion* allocates.
+func exploreBoxExact(mon *automaton.Monitor, know *knowledge, lt *letterTable, init stateset, lo, hi vclock.VC, maxNodes int) (*boxResult, error) {
+	n := know.n
 	type node struct {
 		cut    vclock.VC
 		states stateset
@@ -138,6 +156,166 @@ func exploreBox(mon *automaton.Monitor, know *knowledge, lt *letterTable, init s
 		res.finalStates = append(res.finalStates, st)
 	})
 	return res, nil
+}
+
+// exploreBoxSliced is the support-sliced, rank-synchronous frontier sweep.
+//
+// Slicing: only support processes own propositions the formula reads, so a
+// non-support process's events never change the formula-relevant bits of the
+// letter — stepping through them stutters the same letter, and for a ○-free
+// (stutter-invariant) property LTL3 verdicts are invariant under stuttering.
+// The sweep therefore walks only the *projected* region: cuts advance on
+// support events alone, and a projected step is consistent iff the event's
+// vector clock is covered on the support components (clock transitivity
+// routes causality through projected-away processes, so checking support
+// components suffices — knowledge.projectedStep). An arity-k property over an
+// n-process broadcast explores a k-dimensional region instead of an
+// n-dimensional one, which is what makes dense-broadcast workloads tractable.
+//
+// Lift cuts: each projected node carries the full-width *lift* of its
+// projected cut — lo joined with the vector clocks of every included support
+// event. The lift is the least consistent full cut containing exactly those
+// support events; it is determined by the projected cut alone (so merging
+// paths agree on it), sits inside [lo, hi], and is ≥ lo pointwise, so pivot
+// cuts handed back to the monitor respect the knowledge-GC need-floor and
+// round-trip against full-width clocks.
+//
+// Antichain + rank synchrony: the sweep keeps one frontier per rank (rank =
+// number of included support events), keyed by projected cut. A path whose
+// stateset is a subset of another's at the same projected cut is subsumed by
+// the union-merge and never re-expanded, and conclusive states — absorbing by
+// construction — are pulled out of the frontier into one accumulated set and
+// OR-ed back into the final states at the top. Memory is O(two ranks of
+// frontier width) instead of the full region map.
+func exploreBoxSliced(mon *automaton.Monitor, know *knowledge, lt *letterTable, init stateset, lo, hi vclock.VC, maxNodes int, support []int) (*boxResult, error) {
+	nStates := mon.NumStates()
+	res := &boxResult{nodes: 1}
+	concl := newStateset(nStates) // conclusive states absorbed out of the frontier
+	seenConcl := map[int]bool{}
+	seenPivot := map[string]bool{}
+
+	type node struct {
+		cut    vclock.VC // full-width lift of the projected cut
+		states stateset
+		letter uint32
+	}
+	start := &node{cut: lo.Clone(), states: newStateset(nStates), letter: lt.letter(know.stateAt(lo))}
+	init.forEach(func(q int) {
+		if mon.Final(q) {
+			// Absorbing: keep out of the frontier (never re-reported, like the
+			// exact DP's seenConcl seed) but present in the final states.
+			seenConcl[q] = true
+			concl.set(q)
+			return
+		}
+		start.states.set(q)
+	})
+
+	ranks := 0
+	for _, j := range support {
+		ranks += hi[j] - lo[j]
+	}
+	// Ordered frontier list + dedup map per rank: list order keeps discovery
+	// cuts deterministic (the exact DP's FIFO queue is rank-synchronous too).
+	curList := []*node{start}
+	curIdx := map[string]*node{string(appendSupportKey(nil, lo, support)): start}
+
+	var keyBuf, pivotBuf []byte
+	for r := 0; r < ranks; r++ {
+		var nextList []*node
+		nextIdx := make(map[string]*node, len(curList)*len(support))
+		for _, nd := range curList {
+			for _, p := range support {
+				if nd.cut[p] >= hi[p] {
+					continue
+				}
+				if !know.projectedStep(nd.cut, p, support) {
+					continue
+				}
+				e := know.event(p, nd.cut[p]+1)
+				// Probe the successor's projected key without materializing.
+				keyBuf = keyBuf[:0]
+				for _, j := range support {
+					v := nd.cut[j]
+					if j == p {
+						v++
+					}
+					keyBuf = strconv.AppendInt(keyBuf, int64(v), 10)
+					keyBuf = append(keyBuf, '.')
+				}
+				succ, ok := nextIdx[string(keyBuf)]
+				if !ok {
+					// Build the lift: bump p, then join the event's clock.
+					// Support components are already covered (projectedStep),
+					// so the join only ever advances non-support components.
+					cut := nd.cut.Clone()
+					cut[p]++
+					for j, v := range e.VC {
+						if v > cut[j] {
+							cut[j] = v
+						}
+					}
+					succ = &node{
+						cut:    cut,
+						states: newStateset(nStates),
+						letter: lt.update(nd.letter, p, e.State),
+					}
+					nextIdx[string(keyBuf)] = succ
+					nextList = append(nextList, succ)
+					res.nodes++
+					if res.nodes > maxNodes {
+						return nil, fmt.Errorf("core: box exploration exceeded %d nodes between %v and %v", maxNodes, lo, hi)
+					}
+				}
+				letter := succ.letter
+				for w, word := range nd.states {
+					for word != 0 {
+						st := w*64 + bits.TrailingZeros64(word)
+						word &= word - 1
+						nq := mon.Step(st, letter)
+						if nq != st {
+							pivotBuf = strconv.AppendInt(pivotBuf[:0], int64(nq), 10)
+							pivotBuf = append(pivotBuf, '|')
+							pivotBuf = succ.cut.AppendKey(pivotBuf)
+							if !seenPivot[string(pivotBuf)] {
+								seenPivot[string(pivotBuf)] = true
+								res.pivots = append(res.pivots, pivot{q: nq, cut: succ.cut.Clone()})
+							}
+							if mon.Final(nq) {
+								if !seenConcl[nq] {
+									seenConcl[nq] = true
+									res.conclusive = append(res.conclusive, pivot{q: nq, cut: succ.cut.Clone()})
+								}
+								concl.set(nq)
+								continue
+							}
+						}
+						succ.states.set(nq)
+					}
+				}
+			}
+		}
+		curList, curIdx = nextList, nextIdx
+	}
+	top, ok := curIdx[string(appendSupportKey(keyBuf[:0], hi, support))]
+	if !ok {
+		return nil, fmt.Errorf("core: box upper cut %v unreachable from %v", hi, lo)
+	}
+	fin := top.states.clone()
+	fin.or(concl)
+	fin.forEach(func(st int) {
+		res.finalStates = append(res.finalStates, st)
+	})
+	return res, nil
+}
+
+// appendSupportKey renders the support-projection of a cut as a map key.
+func appendSupportKey(b []byte, cut vclock.VC, support []int) []byte {
+	for _, j := range support {
+		b = strconv.AppendInt(b, int64(cut[j]), 10)
+		b = append(b, '.')
+	}
+	return b
 }
 
 // stateset is a small bitset over automaton states (mirrors the lattice

@@ -59,6 +59,14 @@ type Config struct {
 	FinalizeFull bool
 	// MaxBoxNodes bounds a single lattice-region exploration (default 2^21).
 	MaxBoxNodes int
+	// ExactBoxes forces the full-width exact DP for every box exploration.
+	// By default a ○-free property whose support processes are a proper
+	// subset of the system is explored *sliced*: the region is projected
+	// onto the support processes before sweeping, which is verdict-exact for
+	// stutter-invariant properties and keeps dense-broadcast workloads
+	// tractable (see boxdp.go). Properties with ○, or with support spanning
+	// every process, always use the exact DP regardless of this flag.
+	ExactBoxes bool
 	// FeedBuffer is the capacity of the program→monitor feed queue
 	// (default 1024). Sessions with backpressure use a small buffer so the
 	// retained-knowledge gauge reflects what the feeder actually injected.
@@ -142,6 +150,11 @@ type Monitor struct {
 
 	know *knowledge
 	feed chan feedItem
+
+	// support, when non-nil, is the sorted list of processes owning the
+	// propositions the formula reads: box explorations then run sliced over
+	// this projection (boxdp.go). nil selects the exact full-width DP.
+	support []int
 
 	// Hot-path scratch (single-goroutine use only: the run loop owns them).
 	// Map probes go through keyBuf/sigBuf via the m[string(buf)] idiom so
@@ -257,7 +270,57 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		m.sentFloor[j] = vclock.New(cfg.N)
 	}
 	m.ssScratch = newStateset(cfg.Automaton.NumStates())
+	m.support = boxSupport(cfg)
 	return m, nil
+}
+
+// boxSupport computes the support-process slice for the monitor's box
+// explorations, or nil when the exact full-width DP must be used: slicing is
+// verdict-exact only for ○-free (stutter-invariant) properties, needs the
+// formula to be attached to the automaton, and buys nothing when the support
+// spans every process. (The owner lookup mirrors lattice.SupportProcesses;
+// duplicated to keep internal packages decoupled, like the stateset type.)
+func boxSupport(cfg Config) []int {
+	if cfg.ExactBoxes || cfg.Automaton == nil || cfg.Props == nil {
+		return nil
+	}
+	f := cfg.Automaton.Formula
+	if f == nil || f.HasNext() {
+		return nil
+	}
+	owner := make(map[string]int, cfg.Props.Len())
+	for i, name := range cfg.Props.Names {
+		owner[name] = cfg.Props.Owner[i]
+	}
+	seen := map[int]bool{}
+	var procs []int
+	for _, name := range f.Props() {
+		o, ok := owner[name]
+		if !ok {
+			return nil // unbound proposition: fall back to the exact DP
+		}
+		if !seen[o] {
+			seen[o] = true
+			procs = append(procs, o)
+		}
+	}
+	if len(procs) == 0 || len(procs) >= cfg.N {
+		return nil // nothing to project away
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// explore runs one box exploration with the monitor's strategy (sliced when
+// m.support is set, exact otherwise) and accounts the exploration metrics.
+func (m *Monitor) explore(init stateset, lo, hi vclock.VC) (*boxResult, error) {
+	box, err := exploreBox(m.mon, m.know, m.lt, init, lo, hi, m.cfg.MaxBoxNodes, m.support)
+	if err != nil {
+		return nil, err
+	}
+	m.metrics.BoxExplorations++
+	m.metrics.BoxNodes += box.nodes
+	return box, nil
 }
 
 // DeliverContext feeds one local event of the composed program process
@@ -595,13 +658,11 @@ func (m *Monitor) integrateEnabled(t *tokenWire, tr *transWire) {
 	}
 	origin := newStateset(m.mon.NumStates())
 	origin.set(t.Q)
-	box, err := exploreBox(m.mon, m.know, m.lt, origin, t.Origin, tr.Gcut, m.cfg.MaxBoxNodes)
+	box, err := m.explore(origin, t.Origin, tr.Gcut)
 	if err != nil {
 		m.fail(err)
 		return
 	}
-	m.metrics.BoxExplorations++
-	m.metrics.BoxNodes += box.nodes
 	m.integrateBox(box, origin, nil)
 }
 
@@ -880,13 +941,11 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 			gv.blocked = target
 			return changed
 		}
-		box, err := exploreBox(m.mon, m.know, m.lt, gv.states, gv.cut, target, m.cfg.MaxBoxNodes)
+		box, err := m.explore(gv.states, gv.cut, target)
 		if err != nil {
 			m.fail(err)
 			return changed
 		}
-		m.metrics.BoxExplorations++
-		m.metrics.BoxNodes += box.nodes
 		delete(m.gvs, key)
 		m.integrateBox(box, gv.states, target)
 		return true
@@ -1088,13 +1147,11 @@ func (m *Monitor) maybeFinalize() {
 	m.finalizing = false
 	for _, key := range m.gvKeys() {
 		gv := m.gvs[key]
-		box, err := exploreBox(m.mon, m.know, m.lt, gv.states, gv.cut, final, m.cfg.MaxBoxNodes)
+		box, err := m.explore(gv.states, gv.cut, final)
 		if err != nil {
 			m.fail(err)
 			return
 		}
-		m.metrics.BoxExplorations++
-		m.metrics.BoxNodes += box.nodes
 		for _, c := range box.conclusive {
 			m.recordVerdictState(c.q, c.cut)
 		}
@@ -1117,13 +1174,11 @@ func (m *Monitor) maybeFinalizeReplicated() {
 	}
 	init := newStateset(m.mon.NumStates())
 	init.set(m.initialQ)
-	box, err := exploreBox(m.mon, m.know, m.lt, init, vclock.New(m.cfg.N), final, m.cfg.MaxBoxNodes)
+	box, err := m.explore(init, vclock.New(m.cfg.N), final)
 	if err != nil {
 		m.fail(err)
 		return
 	}
-	m.metrics.BoxExplorations++
-	m.metrics.BoxNodes += box.nodes
 	if m.mon.Final(m.initialQ) {
 		m.recordVerdictState(m.initialQ, vclock.New(m.cfg.N))
 	}

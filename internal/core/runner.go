@@ -34,6 +34,9 @@ type RunConfig struct {
 	Pace float64
 	// MaxBoxNodes bounds each monitor's single-region exploration.
 	MaxBoxNodes int
+	// ExactBoxes forces the full-width exact box DP, disabling support-
+	// process slicing (see Config.ExactBoxes).
+	ExactBoxes bool
 	// MaxLag bounds each monitor's retained-knowledge backlog before the
 	// feeder blocks (backpressure); 0 selects DefaultMaxLag, negative
 	// disables. See SessionConfig.MaxLag.
@@ -97,6 +100,7 @@ func session(ctx context.Context, cfg RunConfig, pm *dist.PropMap, n int, init d
 		SkipFinalize: cfg.SkipFinalize,
 		Network:      cfg.Network,
 		MaxBoxNodes:  cfg.MaxBoxNodes,
+		ExactBoxes:   cfg.ExactBoxes,
 		MaxLag:       cfg.MaxLag,
 		Shards:       cfg.Shards,
 	})

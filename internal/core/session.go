@@ -44,6 +44,9 @@ type SessionConfig struct {
 	Network transport.Network
 	// MaxBoxNodes bounds each monitor's single-region exploration.
 	MaxBoxNodes int
+	// ExactBoxes forces the full-width exact box DP, disabling support-
+	// process slicing (see Config.ExactBoxes).
+	ExactBoxes bool
 	// MaxLag bounds each monitor's retained-knowledge backlog: Feed blocks
 	// while any monitor retains at least this many events and the pipeline
 	// is still making progress (backpressure). 0 selects DefaultMaxLag, a
@@ -203,6 +206,7 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			Mode:         cfg.Mode,
 			FinalizeFull: !cfg.SkipFinalize,
 			MaxBoxNodes:  cfg.MaxBoxNodes,
+			ExactBoxes:   cfg.ExactBoxes,
 			FeedBuffer:   feedBuffer,
 		}, nw.Endpoint(i))
 		if err != nil {

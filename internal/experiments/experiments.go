@@ -628,8 +628,10 @@ type EngineCell struct {
 	Topology       string  `json:"topology"`
 	N              int     `json:"n"`
 	CommMu         float64 `json:"comm_mu"`
-	Events         int     `json:"events"` // program events per run (internal+send+recv)
-	Reps           int     `json:"reps"`   // timed repetitions averaged
+	Shards         int     `json:"shards"`     // pump-scheduler override (0 = auto)
+	GoMax          int     `json:"gomaxprocs"` // GOMAXPROCS the cell was measured under
+	Events         int     `json:"events"`     // program events per run (internal+send+recv)
+	Reps           int     `json:"reps"`       // timed repetitions averaged
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`  // heap bytes allocated / event
@@ -650,8 +652,14 @@ type EngineBench struct {
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
 	// Speedup = (n=16 ring cell events/s) / BaselineEventsPerSec.
 	SpeedupN16Ring float64       `json:"speedup_n16_ring"`
+	Note           string        `json:"note"`
 	Cells          []*EngineCell `json:"cells"`
 }
+
+// engineNote is the reading caveat embedded in every BENCH_engine.json: the
+// CI bench job runs on a single core, so the committed numbers are serial
+// throughput — the sharded scheduler's multi-core gains do not show there.
+const engineNote = "measured at the recorded gomaxprocs; the CI record is a 1-core serial-throughput figure, so work-stealing shard gains (the shards column, 0 = auto) are not reflected in it"
 
 // engineBaseline pins the pre-overhaul reference measurement: the calibrated
 // n=16 ring workload ran at ~1.7k events/s on the CI-class 1-CPU box at the
@@ -661,11 +669,13 @@ const (
 	engineBaselineEventsPerSec = 1711.0
 )
 
-// engineWorkloads is the sweep plan: the ring scaling axis (n = 2..32) and
-// the topology axis at n = 8. Communication density is the calibrated
-// Commµ = 6 everywhere; every workload stays inside the engine's tractable
-// region at that density (the box-explosion mode is a property of *denser*
-// broadcast workloads — see PERFORMANCE.md).
+// engineWorkloads is the sweep plan: the ring scaling axis (n = 2..32), the
+// topology axis at n = 8, and the dense-broadcast cell at n = 16.
+// Communication density is the calibrated Commµ = 6 everywhere. Broadcast at
+// that density was intractable for the full-width exact box DP (its regions
+// span most of the n-dimensional lattice); the support-sliced sweep explores
+// the property's 3-dimensional projection instead, which is what admits the
+// broadcast cells — see PERFORMANCE.md's explosion-modes section.
 var engineWorkloads = []struct {
 	topo dist.Topology
 	n    int
@@ -673,12 +683,14 @@ var engineWorkloads = []struct {
 	{dist.TopoRing, 2}, {dist.TopoRing, 8}, {dist.TopoRing, 16}, {dist.TopoRing, 32},
 	{dist.TopoUniform, 8}, {dist.TopoRing, 8}, {dist.TopoStar, 8},
 	{dist.TopoBroadcast, 8}, {dist.TopoClustered, 8},
+	{dist.TopoBroadcast, 16},
 }
 
 // EngineSweep measures the full engine workload plan. minWall is the minimum
 // measured wall time per cell (repetitions scale to reach it; <=0 takes
-// 200ms). The returned document embeds the pinned pre-overhaul baseline.
-func EngineSweep(minWall time.Duration) (*EngineBench, error) {
+// 200ms); shards overrides the pump scheduler for every cell (0 = auto).
+// The returned document embeds the pinned pre-overhaul baseline.
+func EngineSweep(minWall time.Duration, shards int) (*EngineBench, error) {
 	if minWall <= 0 {
 		minWall = 200 * time.Millisecond
 	}
@@ -687,10 +699,11 @@ func EngineSweep(minWall time.Duration) (*EngineBench, error) {
 		GoMax:                runtime.GOMAXPROCS(0),
 		BaselineCommit:       engineBaselineCommit,
 		BaselineEventsPerSec: engineBaselineEventsPerSec,
+		Note:                 engineNote,
 	}
 	seen := map[string]bool{}
 	for _, w := range engineWorkloads {
-		cell, err := MeasureEngine(w.topo, w.n, minWall)
+		cell, err := MeasureEngine(w.topo, w.n, minWall, shards)
 		if err != nil {
 			return nil, err
 		}
@@ -713,7 +726,7 @@ func EngineSweep(minWall time.Duration) (*EngineBench, error) {
 // runtime's allocation counters around the timed repetitions, so
 // bytes/allocs per event include every layer: generator-free replay,
 // transport, codec, and monitor state.
-func MeasureEngine(topo dist.Topology, n int, minWall time.Duration) (*EngineCell, error) {
+func MeasureEngine(topo dist.Topology, n int, minWall time.Duration, shards int) (*EngineCell, error) {
 	arity := 3
 	if n < arity {
 		arity = n
@@ -737,10 +750,11 @@ func MeasureEngine(topo dist.Topology, n int, minWall time.Duration) (*EngineCel
 	cell := &EngineCell{
 		Workload: fmt.Sprintf("%s/n=%d", topo, n),
 		Topology: topo.String(), N: n, CommMu: gc.CommMu,
+		Shards: shards, GoMax: runtime.GOMAXPROCS(0),
 		Events: ts.TotalEvents(),
 	}
 	runOnce := func() (map[automaton.Verdict]bool, error) {
-		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true})
+		res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon, SkipFinalize: true, Shards: shards})
 		if err != nil {
 			return nil, err
 		}

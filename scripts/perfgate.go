@@ -1,0 +1,118 @@
+//go:build ignore
+
+// perfgate is the engine performance gate: it compares a freshly measured
+// engine sweep (the CI bench job's BENCH_engine.json output) against the
+// committed record at the repository root and fails the build when the
+// engine's throughput trajectory regresses.
+//
+// Two checks:
+//
+//   - the n=16 ring speedup over the pinned pre-overhaul baseline must stay
+//     above a floor (the hot-path overhaul's headline number, with headroom
+//     for runner noise);
+//   - no cell present in both documents may regress by more than the
+//     allowed factor against its committed events/s.
+//
+// Cells only present in one document are reported but do not fail the gate
+// (the sweep plan grows over PRs). Thresholds are deliberately loose: the
+// gate catches order-of-magnitude losses — an accidental re-introduction of
+// per-event garbage or a box-strategy regression — not run-to-run jitter on
+// shared CI runners.
+//
+// Usage: go run scripts/perfgate.go <fresh.json> <committed.json>
+//
+// Stdlib only, like the rest of the repo's tooling.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const (
+	// speedupFloor is the minimum acceptable n=16 ring speedup over the
+	// pinned pre-overhaul baseline (committed trajectory sits above 30x).
+	speedupFloor = 20.0
+	// regressFactor is the maximum acceptable per-cell slowdown against the
+	// committed record.
+	regressFactor = 3.0
+)
+
+type cell struct {
+	Workload     string  `json:"workload"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type doc struct {
+	SpeedupN16Ring float64 `json:"speedup_n16_ring"`
+	Cells          []*cell `json:"cells"`
+}
+
+func load(path string) (*doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: perfgate <fresh.json> <committed.json>")
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	committed, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if fresh.SpeedupN16Ring < speedupFloor {
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL n=16 ring speedup %.1fx below the %.0fx floor\n",
+			fresh.SpeedupN16Ring, speedupFloor)
+		failed = true
+	} else {
+		fmt.Printf("perfgate: n=16 ring speedup %.1fx (floor %.0fx)\n", fresh.SpeedupN16Ring, speedupFloor)
+	}
+
+	old := map[string]float64{}
+	for _, c := range committed.Cells {
+		old[c.Workload] = c.EventsPerSec
+	}
+	seen := map[string]bool{}
+	for _, c := range fresh.Cells {
+		seen[c.Workload] = true
+		was, ok := old[c.Workload]
+		if !ok {
+			fmt.Printf("perfgate: new cell %s at %.0f events/s (no committed reference)\n", c.Workload, c.EventsPerSec)
+			continue
+		}
+		if was > 0 && c.EventsPerSec < was/regressFactor {
+			fmt.Fprintf(os.Stderr, "perfgate: FAIL %s regressed %.1fx (%.0f -> %.0f events/s, allowed factor %.0f)\n",
+				c.Workload, was/c.EventsPerSec, was, c.EventsPerSec, regressFactor)
+			failed = true
+			continue
+		}
+		fmt.Printf("perfgate: %s %.0f events/s (committed %.0f)\n", c.Workload, c.EventsPerSec, was)
+	}
+	for _, c := range committed.Cells {
+		if !seen[c.Workload] {
+			fmt.Printf("perfgate: committed cell %s absent from the fresh sweep\n", c.Workload)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: OK")
+}

@@ -121,6 +121,7 @@ func newSession(spec *Spec, n int, o options) (*Session, error) {
 		SkipFinalize: o.cfg.SkipFinalize,
 		Network:      o.cfg.Network,
 		MaxBoxNodes:  o.cfg.MaxBoxNodes,
+		ExactBoxes:   o.cfg.ExactBoxes,
 		MaxLag:       o.cfg.MaxLag,
 		Shards:       o.cfg.Shards,
 	})
