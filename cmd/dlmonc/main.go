@@ -1,0 +1,112 @@
+// dlmonc is the dlmond client: it drives a full monitoring session over the
+// RPC protocol — register a property, subscribe, replay a recorded trace
+// set, close — and reports the terminal verdict set the daemon computed.
+// It exists for smoke tests, debugging, and light load generation; real
+// tenants embed internal/server.Client (or speak the protocol directly).
+//
+// Usage:
+//
+//	tracegen -n 2 -events 5 -plant -o t.dmtb
+//	dlmond &
+//	dlmonc -addr 127.0.0.1:7381 -trace t.dmtb 'F (P0.p && P1.p)'
+//
+// Exit status: 0 on success, 1 on error, 2 on usage mistakes, and 3 when
+// the verdict set contains ⊥ — the same contract as dlmon, so CI smoke
+// legs gate identically on both binaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"decentmon/internal/dist"
+	"decentmon/internal/server"
+)
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dlmonc: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7381", "dlmond RPC address")
+		tenant    = flag.String("tenant", "dlmonc", "tenant identity for admission control")
+		tracePath = flag.String("trace", "", "trace set file (.json, .jsonl, .dmtb or .gob) from tracegen")
+		verbose   = flag.Bool("v", false, "print each streamed verdict detection")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dlmonc -trace FILE [flags] 'formula'")
+		fmt.Fprintln(os.Stderr, "exit status: 0 ok, 1 error, 2 usage, 3 verdict set contains ⊥ (violation)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *tracePath == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	formula := flag.Arg(0)
+
+	ts, err := dist.LoadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	cl, err := server.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	cl.OnAsyncError = func(m *dist.RPCMsg) {
+		fmt.Fprintf(os.Stderr, "dlmonc: session %d: %s\n", m.SID, m.Err)
+	}
+	if *verbose {
+		cl.OnVerdict = func(m *dist.RPCMsg) {
+			fmt.Printf("verdict        : monitor %d -> %s (state %d, cut %v)\n",
+				m.Monitor, dist.RPCVerdictString(m.Verdict), m.AutState, m.Cut)
+		}
+	}
+
+	sid, hit, err := cl.Register(*tenant, formula, ts.InitialState(), ts.Props)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cl.Subscribe(sid); err != nil {
+		fatal(err)
+	}
+	src := ts.Stream()
+	events := 0
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.Ingest(sid, e); err != nil {
+			fatal(err)
+		}
+		events++
+	}
+	codes, err := cl.CloseSession(sid)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("property       : %s\n", formula)
+	fmt.Printf("session        : %d on %s (automaton cache %s)\n", sid, *addr, map[bool]string{true: "hit", false: "miss"}[hit])
+	fmt.Printf("processes      : %d, events: %d\n", ts.N(), events)
+	vs := make([]string, len(codes))
+	violated := false
+	for i, c := range codes {
+		vs[i] = dist.RPCVerdictString(c)
+		violated = violated || c == dist.RPCVerdictBottom
+	}
+	fmt.Printf("verdicts       : %v\n", vs)
+	if violated {
+		os.Exit(3)
+	}
+}

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.4, fig5.5, fig5.6, fig5.7, fig5.8, fig5.9, baselines, oracle, engine, all")
+		exp          = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.4, fig5.5, fig5.6, fig5.7, fig5.8, fig5.9, baselines, oracle, engine, dlmond, all")
 		events       = flag.Int("events", 15, "internal events per process")
 		seeds        = flag.Int("seeds", 3, "replications to average")
 		pace         = flag.Float64("pace", 0, "real-time replay scale for delay metrics (e.g. 2e-4)")
@@ -28,6 +28,8 @@ func main() {
 		engineJSON   = flag.String("engine-json", "", "with -exp engine: also write the sweep as JSON to this file (the CI BENCH_engine.json record)")
 		engineWall   = flag.Duration("engine-wall", 0, "with -exp engine: minimum measured wall time per cell (default 200ms)")
 		engineShards = flag.Int("shards", 0, "with -exp engine: pump-scheduler override for every cell (0 auto, 1 serial, >1 work-stealing pool of that size)")
+		dlmondJSON   = flag.String("dlmond-json", "", "with -exp dlmond: also write the sweep as JSON to this file (the CI BENCH_dlmond.json record)")
+		dlmondWall   = flag.Duration("dlmond-wall", 0, "with -exp dlmond: minimum measured wall time per concurrency cell (default 200ms)")
 	)
 	flag.Parse()
 
@@ -107,6 +109,17 @@ func main() {
 				check(err)
 				check(os.WriteFile(*engineJSON, append(buf, '\n'), 0o644))
 				fmt.Printf("wrote %s (%d cells)\n", *engineJSON, len(doc.Cells))
+			}
+		case "dlmond":
+			doc, err := experiments.DlmondSweep(*dlmondWall)
+			check(err)
+			fmt.Println("== dlmond session server: full lifecycles/s over loopback TCP ==")
+			fmt.Println(experiments.RenderDlmondCells(doc))
+			if *dlmondJSON != "" {
+				buf, err := json.MarshalIndent(doc, "", "  ")
+				check(err)
+				check(os.WriteFile(*dlmondJSON, append(buf, '\n'), 0o644))
+				fmt.Printf("wrote %s (%d cells)\n", *dlmondJSON, len(doc.Cells))
 			}
 		case "baselines":
 			fmt.Println("== Baselines: decentralized vs replicated vs centralized ==")

@@ -15,6 +15,7 @@
 //	internal/core       the decentralized monitoring algorithm + shard scheduler
 //	internal/central    the centralized baseline
 //	internal/transport  in-memory and TCP monitor networks
+//	internal/server     dlmond, the multi-tenant monitoring session daemon
 //
 // ARCHITECTURE.md walks the full package graph, the Session lifecycle and
 // the machine-checked concurrency invariants; PERFORMANCE.md is the

@@ -91,3 +91,39 @@ func suppressedDrain(ch chan int) {
 		<-ch
 	}
 }
+
+// shardLoop mirrors the dlmond registry shard goroutine (internal/server):
+// an op-dispatch loop whose every channel operation — the op receive and
+// the reply send — selects on the stop channel, so server shutdown never
+// wedges a shard mid-operation.
+type shardOp struct {
+	reply chan int
+}
+
+func shardLoop(ops chan shardOp, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case op := <-ops:
+			select {
+			case op.reply <- 1:
+			case <-stop:
+				return
+			}
+		}
+	}
+}
+
+// shardLoopWedged is the anti-pattern the shard loop avoids: a bare reply
+// send that deadlocks shutdown when the requester already gave up.
+func shardLoopWedged(ops chan shardOp, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case op := <-ops:
+			op.reply <- 1 // want `blocking send in a loop outside a select`
+		}
+	}
+}

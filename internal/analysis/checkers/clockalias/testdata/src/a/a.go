@@ -36,6 +36,9 @@ type Store struct{ counts VC }
 
 func (s *Store) Cut() VC { return s.counts } // leaks aliased storage
 
+// LastCut mirrors the dlmond session accessor: same borrow contract.
+func (s *Store) LastCut() VC { return s.counts }
+
 func badIndexVar(s *Store) {
 	c := s.Cut()
 	c[0] = 7 // want `in-place element write to aliased clock/cut slice`
@@ -81,6 +84,21 @@ func badIncDec(e Event) {
 func badVarDecl(e Event) {
 	var v = e.VC
 	v[2] = 9 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badLastCutWrite(s *Store) {
+	c := s.LastCut()
+	c[0] = 7 // want `in-place element write to aliased clock/cut slice`
+}
+
+func badLastCutMerge(s *Store, w VC) {
+	s.LastCut().Merge(w) // want `Merge mutates its receiver`
+}
+
+func goodLastCutClone(s *Store) VC {
+	c := s.LastCut().Clone()
+	c[0] = 7
+	return c
 }
 
 func goodCloneThenWrite(s *Store) VC {

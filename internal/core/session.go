@@ -294,6 +294,18 @@ func (s *Session) Verdicts() <-chan VerdictEvent { return s.verdicts }
 // N returns the number of monitored processes.
 func (s *Session) N() int { return s.cfg.N }
 
+// RetainedEvents reports the total retained-knowledge backlog summed over
+// all monitors — the number of events whose full vector clocks the session
+// currently holds. Observability surfaces (dlmond's knowledge gauge) read
+// it off the monitors' published gauges without touching monitor state.
+func (s *Session) RetainedEvents() int64 {
+	var sum int64
+	for _, m := range s.monitors {
+		sum += m.lagGauge.Load()
+	}
+	return sum
+}
+
 // maxRetained is the largest retained-knowledge backlog across monitors.
 func (s *Session) maxRetained() int64 {
 	var worst int64

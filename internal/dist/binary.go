@@ -104,14 +104,16 @@ func NewBinaryWriter(w io.Writer, pm *PropMap, init GlobalState) (*BinaryWriter,
 	return &BinaryWriter{bw: bw, scratch: buf[:0]}, nil
 }
 
-// Write appends one event record.
-func (bw *BinaryWriter) Write(e *Event) error {
+// AppendEventRecord appends the ".dmtb" event-record payload (everything
+// after the length prefix) for e to buf and returns the extended slice. The
+// same record encoding frames events inside dlmond RPC Ingest payloads, so
+// the two wire surfaces cannot drift apart.
+func AppendEventRecord(buf []byte, e *Event) ([]byte, error) {
 	switch e.Type {
 	case Internal, Send, Recv:
 	default:
-		return fmt.Errorf("dist: unknown event type %d", int(e.Type))
+		return nil, fmt.Errorf("dist: unknown event type %d", int(e.Type))
 	}
-	buf := bw.scratch[:0]
 	buf = binary.AppendUvarint(buf, uint64(e.Proc))
 	buf = append(buf, byte(e.Type))
 	buf = binary.AppendVarint(buf, int64(e.Peer))
@@ -120,6 +122,73 @@ func (bw *BinaryWriter) Write(e *Event) error {
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Time))
 	for _, x := range e.VC {
 		buf = binary.AppendUvarint(buf, uint64(x))
+	}
+	return buf, nil
+}
+
+// DecodeEventRecord parses one ".dmtb" event-record payload for an
+// n-process space. The returned event owns its vector clock; it is not
+// validated against any stream order (the caller's validator does that).
+func DecodeEventRecord(buf []byte, n int) (*Event, error) {
+	pos := 0
+	uvar := func(what string) (uint64, error) {
+		x, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("truncated %s", what)
+		}
+		pos += w
+		return x, nil
+	}
+	proc, err := uvar("process")
+	if err != nil {
+		return nil, err
+	}
+	if pos >= len(buf) {
+		return nil, fmt.Errorf("truncated event type")
+	}
+	typ := EventType(buf[pos])
+	pos++
+	peer, w := binary.Varint(buf[pos:])
+	if w <= 0 {
+		return nil, fmt.Errorf("truncated peer")
+	}
+	pos += w
+	msgid, err := uvar("message id")
+	if err != nil {
+		return nil, err
+	}
+	if pos+12 > len(buf) {
+		return nil, fmt.Errorf("truncated state/time fields")
+	}
+	state := binary.LittleEndian.Uint32(buf[pos:])
+	pos += 4
+	tm := math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+	pos += 8
+	vc := make(vclock.VC, n)
+	for p := 0; p < n; p++ {
+		x, err := uvar("vector clock")
+		if err != nil {
+			return nil, err
+		}
+		vc[p] = int(x)
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("%d trailing bytes in record", len(buf)-pos)
+	}
+	if proc >= uint64(n) {
+		return nil, fmt.Errorf("event of nonexistent process %d", proc)
+	}
+	return &Event{
+		Proc: int(proc), SN: vc[proc], Type: typ, Peer: int(peer),
+		MsgID: int(msgid), State: LocalState(state), VC: vc, Time: tm,
+	}, nil
+}
+
+// Write appends one event record.
+func (bw *BinaryWriter) Write(e *Event) error {
+	buf, err := AppendEventRecord(bw.scratch[:0], e)
+	if err != nil {
+		return err
 	}
 	bw.scratch = buf // keep the (possibly grown) backing array
 	var lenbuf [binary.MaxVarintLen64]byte
@@ -314,58 +383,9 @@ func (r *BinaryReader) next() (*Event, error) {
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return nil, noEOF(err)
 	}
-	pos := 0
-	uvar := func(what string) (uint64, error) {
-		x, w := binary.Uvarint(buf[pos:])
-		if w <= 0 {
-			return 0, fmt.Errorf("truncated %s", what)
-		}
-		pos += w
-		return x, nil
-	}
-	proc, err := uvar("process")
+	e, err := DecodeEventRecord(buf, len(r.init))
 	if err != nil {
 		return nil, err
-	}
-	if pos >= len(buf) {
-		return nil, fmt.Errorf("truncated event type")
-	}
-	typ := EventType(buf[pos])
-	pos++
-	peer, w := binary.Varint(buf[pos:])
-	if w <= 0 {
-		return nil, fmt.Errorf("truncated peer")
-	}
-	pos += w
-	msgid, err := uvar("message id")
-	if err != nil {
-		return nil, err
-	}
-	if pos+12 > len(buf) {
-		return nil, fmt.Errorf("truncated state/time fields")
-	}
-	state := binary.LittleEndian.Uint32(buf[pos:])
-	pos += 4
-	tm := math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
-	pos += 8
-	n := len(r.init)
-	vc := make(vclock.VC, n)
-	for p := 0; p < n; p++ {
-		x, err := uvar("vector clock")
-		if err != nil {
-			return nil, err
-		}
-		vc[p] = int(x)
-	}
-	if pos != len(buf) {
-		return nil, fmt.Errorf("%d trailing bytes in record", len(buf)-pos)
-	}
-	if proc >= uint64(n) {
-		return nil, fmt.Errorf("event of nonexistent process %d", proc)
-	}
-	e := &Event{
-		Proc: int(proc), SN: vc[proc], Type: typ, Peer: int(peer),
-		MsgID: int(msgid), State: LocalState(state), VC: vc, Time: tm,
 	}
 	if err := r.val.check(e); err != nil {
 		return nil, err

@@ -1,0 +1,528 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// dlmond RPC wire format: the session-server protocol spoken by cmd/dlmond
+// and its clients (internal/server). Frames ride a byte stream exactly like
+// ".dmtb" event records ride a trace file — a uvarint payload length
+// followed by the payload — so truncation is detectable and the codec
+// shares its varint/length-prefix idioms (and, for Ingest, the literal
+// event-record encoding) with the binary trace codec in binary.go.
+//
+// Connection layout:
+//
+//	hello    client and server each send one Hello frame (magic "DLMD" +
+//	         version) before anything else; either side rejects a
+//	         version it does not understand.
+//	frames   uvarint length + payload, payload byte 0 is the verb.
+//
+// Verbs (client → server):
+//
+//	Register   tenant, formula, initial state, proposition space
+//	Ingest     session id + one pre-stamped ".dmtb" event record
+//	Emit       session id + (kind, proc, peer, state): live stamping —
+//	           the server's dist.Stamper assigns clocks; a send's reply
+//	           carries the message id the receiver's Emit must present
+//	Subscribe  session id: verdict frames stream on this connection
+//	End        session id + process: no further events of that process
+//	Close      session id: drain, finalize, reply with the verdict set
+//
+// Verbs (server → client):
+//
+//	Registered  session id + cache-hit flag
+//	Emitted     acknowledgement of one Emit (message id for sends)
+//	Acked       acknowledgement of End
+//	Verdict     one incremental verdict detection of a subscribed session
+//	Closed      terminal verdict set
+//	Error       failure; session id 0 means the connection itself
+//
+// Ingest is deliberately fire-and-forget (no per-event acknowledgement):
+// TCP flow control paces a feeder that outruns the server, and ingestion
+// failures surface as an asynchronous Error frame that dooms the session.
+type RPCKind uint8
+
+// The RPC verbs. Client-originated verbs are low, server-originated high;
+// Hello flows both ways.
+const (
+	RPCHello     RPCKind = 1
+	RPCRegister  RPCKind = 2
+	RPCIngest    RPCKind = 3
+	RPCEmit      RPCKind = 4
+	RPCSubscribe RPCKind = 5
+	RPCEnd       RPCKind = 6
+	RPCClose     RPCKind = 7
+
+	RPCRegistered RPCKind = 65
+	RPCEmitted    RPCKind = 66
+	RPCAcked      RPCKind = 67
+	RPCVerdict    RPCKind = 68
+	RPCClosed     RPCKind = 69
+	RPCError      RPCKind = 70
+)
+
+func (k RPCKind) String() string {
+	switch k {
+	case RPCHello:
+		return "hello"
+	case RPCRegister:
+		return "register"
+	case RPCIngest:
+		return "ingest"
+	case RPCEmit:
+		return "emit"
+	case RPCSubscribe:
+		return "subscribe"
+	case RPCEnd:
+		return "end"
+	case RPCClose:
+		return "close"
+	case RPCRegistered:
+		return "registered"
+	case RPCEmitted:
+		return "emitted"
+	case RPCAcked:
+		return "acked"
+	case RPCVerdict:
+		return "verdict"
+	case RPCClosed:
+		return "closed"
+	case RPCError:
+		return "error"
+	}
+	return fmt.Sprintf("RPCKind(%d)", uint8(k))
+}
+
+// RPCMagic opens every dlmond connection (inside the Hello frame).
+var RPCMagic = [4]byte{'D', 'L', 'M', 'D'}
+
+// RPCVersion is the protocol version spoken by this build.
+const RPCVersion = 1
+
+// MaxRPCFrame bounds one frame's payload: a Register carries a formula and
+// a proposition space, everything else is tens of bytes.
+const MaxRPCFrame = 1 << 20
+
+// Verdict codes carried by Verdict/Closed frames. They mirror
+// automaton.Verdict's values without importing the package (dist is the
+// dependency-free type hub); internal/server converts.
+const (
+	RPCVerdictUnknown byte = 0
+	RPCVerdictTop     byte = 1
+	RPCVerdictBottom  byte = 2
+)
+
+// RPCVerdictString renders a verdict code the way automaton.Verdict does.
+func RPCVerdictString(code byte) string {
+	switch code {
+	case RPCVerdictTop:
+		return "T"
+	case RPCVerdictBottom:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// RPCMsg is one decoded RPC frame. The field set in use depends on Kind;
+// unrelated fields are zero. A flat struct keeps the codec a single
+// append/decode pair and the server's dispatch a switch on Kind.
+type RPCMsg struct {
+	Kind RPCKind
+	// SID addresses a session (every verb but Hello and Register).
+	SID uint64
+
+	// Hello.
+	Version uint8
+
+	// Register.
+	Tenant  string
+	Formula string
+	Init    GlobalState
+	Props   *PropMap
+
+	// Ingest: one ".dmtb" event record (AppendEventRecord encoding). The
+	// slice aliases the decode buffer — decode it into an Event (which
+	// copies what it keeps) before reading the next frame.
+	Raw []byte
+
+	// Emit / Emitted: live stamping. EmitKind is the event kind; Peer is
+	// the destination process of a send (the sender of the message being
+	// received, for a receive); MsgID pairs a receive with the send that
+	// produced it (assigned by the server, returned in the send's Emitted).
+	EmitKind EventType
+	Proc     int
+	Peer     int
+	State    LocalState
+	MsgID    int
+
+	// Registered.
+	CacheHit bool
+
+	// Verdict.
+	Monitor    int
+	Verdict    byte
+	AutState   int
+	Conclusive bool
+	Cut        []int
+
+	// Closed: the terminal verdict set, one code per member.
+	Verdicts []byte
+
+	// Error.
+	Err string
+}
+
+// appendString appends a uvarint length + bytes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendRPC appends the frame for m — uvarint length prefix included — to
+// buf and returns the extended slice.
+func AppendRPC(buf []byte, m *RPCMsg) ([]byte, error) {
+	payload, err := appendRPCPayload(make([]byte, 0, 64), m)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxRPCFrame {
+		return nil, fmt.Errorf("dist: rpc %s frame of %d bytes exceeds the %d-byte bound", m.Kind, len(payload), MaxRPCFrame)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...), nil
+}
+
+func appendRPCPayload(buf []byte, m *RPCMsg) ([]byte, error) {
+	buf = append(buf, byte(m.Kind))
+	switch m.Kind {
+	case RPCHello:
+		buf = append(buf, RPCMagic[:]...)
+		buf = append(buf, m.Version)
+	case RPCRegister:
+		buf = appendString(buf, m.Tenant)
+		buf = appendString(buf, m.Formula)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Init)))
+		for _, s := range m.Init {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		}
+		if m.Props == nil {
+			return nil, fmt.Errorf("dist: rpc register without a proposition space")
+		}
+		buf = binary.AppendUvarint(buf, uint64(m.Props.Len()))
+		for i, name := range m.Props.Names {
+			buf = binary.AppendUvarint(buf, uint64(m.Props.Owner[i]))
+			buf = appendString(buf, name)
+		}
+	case RPCIngest:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = append(buf, m.Raw...)
+	case RPCEmit:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = append(buf, byte(m.EmitKind))
+		buf = binary.AppendUvarint(buf, uint64(m.Proc))
+		buf = binary.AppendVarint(buf, int64(m.Peer))
+		buf = binary.AppendUvarint(buf, uint64(m.MsgID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.State))
+	case RPCSubscribe, RPCClose:
+		buf = binary.AppendUvarint(buf, m.SID)
+	case RPCEnd:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = binary.AppendUvarint(buf, uint64(m.Proc))
+	case RPCRegistered:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = append(buf, boolByte(m.CacheHit))
+	case RPCEmitted:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = binary.AppendUvarint(buf, uint64(m.MsgID))
+	case RPCAcked:
+		buf = binary.AppendUvarint(buf, m.SID)
+	case RPCVerdict:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = binary.AppendUvarint(buf, uint64(m.Monitor))
+		buf = append(buf, m.Verdict, boolByte(m.Conclusive))
+		buf = binary.AppendUvarint(buf, uint64(m.AutState))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Cut)))
+		for _, c := range m.Cut {
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+	case RPCClosed:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Verdicts)))
+		buf = append(buf, m.Verdicts...)
+	case RPCError:
+		buf = binary.AppendUvarint(buf, m.SID)
+		buf = appendString(buf, m.Err)
+	default:
+		return nil, fmt.Errorf("dist: encoding unknown rpc verb %d", uint8(m.Kind))
+	}
+	return buf, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadRPCFrame reads one length-prefixed frame from br into scratch
+// (growing it as needed) and returns the payload plus the possibly-grown
+// scratch for reuse. A clean EOF between frames returns io.EOF; mid-frame
+// truncation is an error.
+func ReadRPCFrame(br *bufio.Reader, scratch []byte) (payload, grown []byte, err error) {
+	// Byte-by-byte length read, so a clean EOF (no bytes at all) is
+	// distinguishable from truncation mid-varint — same as BinaryReader.
+	var ln uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && shift == 0 {
+				return nil, scratch, io.EOF
+			}
+			return nil, scratch, noEOF(err)
+		}
+		if shift >= 64 {
+			return nil, scratch, fmt.Errorf("dist: rpc frame length varint overflows")
+		}
+		ln |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if ln > MaxRPCFrame {
+		return nil, scratch, fmt.Errorf("dist: rpc frame of %d bytes exceeds the %d-byte bound", ln, MaxRPCFrame)
+	}
+	if cap(scratch) < int(ln) {
+		scratch = make([]byte, ln)
+	}
+	buf := scratch[:ln]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, scratch, noEOF(err)
+	}
+	return buf, scratch, nil
+}
+
+// DecodeRPC parses one frame payload. Slice fields of the returned message
+// (Raw, Cut, Verdicts) may alias payload; consume them before reusing the
+// read buffer.
+func DecodeRPC(payload []byte) (*RPCMsg, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("dist: empty rpc frame")
+	}
+	m := &RPCMsg{Kind: RPCKind(payload[0])}
+	buf := payload[1:]
+	pos := 0
+	uvar := func(what string) (uint64, error) {
+		x, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("dist: rpc %s: truncated %s", m.Kind, what)
+		}
+		pos += w
+		return x, nil
+	}
+	str := func(what string) (string, error) {
+		ln, err := uvar(what + " length")
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(buf)-pos) < ln {
+			return "", fmt.Errorf("dist: rpc %s: truncated %s", m.Kind, what)
+		}
+		s := string(buf[pos : pos+int(ln)])
+		pos += int(ln)
+		return s, nil
+	}
+	var err error
+	switch m.Kind {
+	case RPCHello:
+		if len(buf) != 5 {
+			return nil, fmt.Errorf("dist: rpc hello of %d bytes, want 5", len(buf))
+		}
+		if [4]byte(buf[:4]) != RPCMagic {
+			return nil, fmt.Errorf("dist: not a dlmond connection (bad magic %q)", buf[:4])
+		}
+		m.Version = buf[4]
+		return m, nil
+	case RPCRegister:
+		if m.Tenant, err = str("tenant"); err != nil {
+			return nil, err
+		}
+		if m.Formula, err = str("formula"); err != nil {
+			return nil, err
+		}
+		n, err := uvar("process count")
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxProps {
+			return nil, fmt.Errorf("dist: rpc register names %d processes (max %d)", n, MaxProps)
+		}
+		m.Init = make(GlobalState, n)
+		for p := range m.Init {
+			s, err := uvar("initial state")
+			if err != nil {
+				return nil, err
+			}
+			m.Init[p] = LocalState(s)
+		}
+		nprops, err := uvar("proposition count")
+		if err != nil {
+			return nil, err
+		}
+		if nprops > MaxProps {
+			return nil, fmt.Errorf("dist: rpc register names %d propositions (max %d)", nprops, MaxProps)
+		}
+		m.Props = NewPropMap()
+		for k := 0; k < int(nprops); k++ {
+			owner, err := uvar("proposition owner")
+			if err != nil {
+				return nil, err
+			}
+			if owner >= n {
+				return nil, fmt.Errorf("dist: rpc register proposition %d owned by nonexistent process %d", k, owner)
+			}
+			name, err := str("proposition name")
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Props.Add(name, int(owner)); err != nil {
+				return nil, err
+			}
+		}
+	case RPCIngest:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		m.Raw = buf[pos:]
+		pos = len(buf)
+	case RPCEmit:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("dist: rpc emit: truncated event kind")
+		}
+		m.EmitKind = EventType(buf[pos])
+		pos++
+		proc, err := uvar("process")
+		if err != nil {
+			return nil, err
+		}
+		m.Proc = int(proc)
+		peer, w := binary.Varint(buf[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("dist: rpc emit: truncated peer")
+		}
+		pos += w
+		m.Peer = int(peer)
+		msgid, err := uvar("message id")
+		if err != nil {
+			return nil, err
+		}
+		m.MsgID = int(msgid)
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("dist: rpc emit: truncated state")
+		}
+		m.State = LocalState(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+	case RPCSubscribe, RPCClose, RPCAcked:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+	case RPCEnd:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		proc, err := uvar("process")
+		if err != nil {
+			return nil, err
+		}
+		m.Proc = int(proc)
+	case RPCRegistered:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("dist: rpc registered: truncated cache flag")
+		}
+		m.CacheHit = buf[pos] != 0
+		pos++
+	case RPCEmitted:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		msgid, err := uvar("message id")
+		if err != nil {
+			return nil, err
+		}
+		m.MsgID = int(msgid)
+	case RPCVerdict:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		mon, err := uvar("monitor")
+		if err != nil {
+			return nil, err
+		}
+		m.Monitor = int(mon)
+		if pos+2 > len(buf) {
+			return nil, fmt.Errorf("dist: rpc verdict: truncated verdict/conclusive")
+		}
+		m.Verdict = buf[pos]
+		m.Conclusive = buf[pos+1] != 0
+		pos += 2
+		st, err := uvar("automaton state")
+		if err != nil {
+			return nil, err
+		}
+		m.AutState = int(st)
+		cutLen, err := uvar("cut length")
+		if err != nil {
+			return nil, err
+		}
+		if cutLen > MaxProps {
+			return nil, fmt.Errorf("dist: rpc verdict cut of %d entries (max %d)", cutLen, MaxProps)
+		}
+		if cutLen > 0 {
+			m.Cut = make([]int, cutLen)
+			for i := range m.Cut {
+				c, err := uvar("cut entry")
+				if err != nil {
+					return nil, err
+				}
+				m.Cut[i] = int(c)
+			}
+		}
+	case RPCClosed:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		vn, err := uvar("verdict count")
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(buf)-pos) < vn {
+			return nil, fmt.Errorf("dist: rpc closed: truncated verdict set")
+		}
+		m.Verdicts = buf[pos : pos+int(vn)]
+		pos += int(vn)
+	case RPCError:
+		if m.SID, err = uvar("session id"); err != nil {
+			return nil, err
+		}
+		if m.Err, err = str("message"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown rpc verb %d", payload[0])
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("dist: rpc %s: %d trailing bytes", m.Kind, len(buf)-pos)
+	}
+	return m, nil
+}

@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// roundTripRPC encodes m, reads it back through the frame reader, and
+// decodes it.
+func roundTripRPC(t *testing.T, m *RPCMsg) *RPCMsg {
+	t.Helper()
+	frame, err := AppendRPC(nil, m)
+	if err != nil {
+		t.Fatalf("AppendRPC(%s): %v", m.Kind, err)
+	}
+	br := bufio.NewReader(bytes.NewReader(frame))
+	payload, _, err := ReadRPCFrame(br, nil)
+	if err != nil {
+		t.Fatalf("ReadRPCFrame(%s): %v", m.Kind, err)
+	}
+	got, err := DecodeRPC(payload)
+	if err != nil {
+		t.Fatalf("DecodeRPC(%s): %v", m.Kind, err)
+	}
+	if _, _, err := ReadRPCFrame(br, nil); err != io.EOF {
+		t.Fatalf("after one %s frame: want clean EOF, got %v", m.Kind, err)
+	}
+	return got
+}
+
+func TestRPCRoundTripAllVerbs(t *testing.T) {
+	props := NewPropMap()
+	props.MustAdd("p", 0)
+	props.MustAdd("q", 1)
+
+	msgs := []*RPCMsg{
+		{Kind: RPCHello, Version: RPCVersion},
+		{Kind: RPCRegister, Tenant: "acme", Formula: "G(P0.p -> F P1.q)",
+			Init: GlobalState{1, 0}, Props: props},
+		{Kind: RPCIngest, SID: 7, Raw: []byte{1, 2, 3, 4}},
+		{Kind: RPCEmit, SID: 7, EmitKind: Send, Proc: 0, Peer: 1, MsgID: 9, State: 3},
+		{Kind: RPCSubscribe, SID: 7},
+		{Kind: RPCEnd, SID: 7, Proc: 1},
+		{Kind: RPCClose, SID: 7},
+		{Kind: RPCRegistered, SID: 8, CacheHit: true},
+		{Kind: RPCEmitted, SID: 7, MsgID: 12},
+		{Kind: RPCAcked, SID: 7},
+		{Kind: RPCVerdict, SID: 7, Monitor: 1, Verdict: RPCVerdictBottom,
+			Conclusive: true, AutState: 2, Cut: []int{3, 1}},
+		{Kind: RPCClosed, SID: 7, Verdicts: []byte{RPCVerdictTop, RPCVerdictUnknown}},
+		{Kind: RPCError, SID: 7, Err: "no such session"},
+	}
+	for _, m := range msgs {
+		got := roundTripRPC(t, m)
+		if got.Kind != m.Kind || got.SID != m.SID || got.Version != m.Version ||
+			got.Tenant != m.Tenant || got.Formula != m.Formula ||
+			got.EmitKind != m.EmitKind || got.Proc != m.Proc || got.Peer != m.Peer ||
+			got.MsgID != m.MsgID || got.State != m.State ||
+			got.CacheHit != m.CacheHit || got.Monitor != m.Monitor ||
+			got.Verdict != m.Verdict || got.AutState != m.AutState ||
+			got.Conclusive != m.Conclusive || got.Err != m.Err {
+			t.Errorf("%s: scalar fields changed in round trip:\n in  %+v\n out %+v", m.Kind, m, got)
+		}
+		if !bytes.Equal(got.Raw, m.Raw) || !bytes.Equal(got.Verdicts, m.Verdicts) {
+			t.Errorf("%s: byte fields changed in round trip", m.Kind)
+		}
+		if len(got.Cut) != len(m.Cut) {
+			t.Errorf("%s: cut %v -> %v", m.Kind, m.Cut, got.Cut)
+		} else {
+			for i := range got.Cut {
+				if got.Cut[i] != m.Cut[i] {
+					t.Errorf("%s: cut %v -> %v", m.Kind, m.Cut, got.Cut)
+					break
+				}
+			}
+		}
+		if len(got.Init) != len(m.Init) {
+			t.Errorf("%s: init %v -> %v", m.Kind, m.Init, got.Init)
+		}
+		if m.Props != nil {
+			if got.Props == nil || got.Props.Len() != m.Props.Len() {
+				t.Fatalf("%s: prop space dropped", m.Kind)
+			}
+			for i, name := range m.Props.Names {
+				if got.Props.Names[i] != name || got.Props.Owner[i] != m.Props.Owner[i] {
+					t.Errorf("%s: prop %d changed", m.Kind, i)
+				}
+			}
+		}
+	}
+}
+
+// The Ingest payload embeds the literal ".dmtb" event record encoding, so
+// a stamped event must survive the RPC framing byte-for-byte.
+func TestRPCIngestCarriesEventRecords(t *testing.T) {
+	st := NewStamper(3)
+	ev, _, err := st.Send(0, 2, 5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := AppendEventRecord(nil, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripRPC(t, &RPCMsg{Kind: RPCIngest, SID: 3, Raw: rec})
+	dec, err := DecodeEventRecord(got.Raw, 3)
+	if err != nil {
+		t.Fatalf("DecodeEventRecord over RPC: %v", err)
+	}
+	if dec.Proc != ev.Proc || dec.Type != ev.Type || dec.Peer != ev.Peer ||
+		dec.MsgID != ev.MsgID || dec.State != ev.State || dec.Time != ev.Time {
+		t.Errorf("event changed crossing the RPC: %+v -> %+v", ev, dec)
+	}
+	for i := range ev.VC {
+		if dec.VC[i] != ev.VC[i] {
+			t.Errorf("vc changed: %v -> %v", ev.VC, dec.VC)
+			break
+		}
+	}
+}
+
+func TestRPCRejectsBadFrames(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string
+	}{
+		{"empty", nil, "empty"},
+		{"unknown verb", []byte{200}, "unknown rpc verb"},
+		{"bad magic", append([]byte{byte(RPCHello)}, 'N', 'O', 'P', 'E', 1), "magic"},
+		{"truncated register", []byte{byte(RPCRegister), 4, 'a', 'c'}, "truncated"},
+		{"trailing bytes", append([]byte{byte(RPCAcked), 7}, 0xff), "trailing"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeRPC(tc.payload)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestRPCFrameTruncation(t *testing.T) {
+	frame, err := AppendRPC(nil, &RPCMsg{Kind: RPCError, SID: 1, Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix that drops at least one byte must fail loudly,
+	// never report a clean EOF.
+	for cut := 1; cut < len(frame); cut++ {
+		br := bufio.NewReader(bytes.NewReader(frame[:cut]))
+		_, _, err := ReadRPCFrame(br, nil)
+		if err == nil || err == io.EOF {
+			t.Errorf("prefix of %d/%d bytes: want truncation error, got %v", cut, len(frame), err)
+		}
+	}
+}
+
+func TestRPCFrameBound(t *testing.T) {
+	if _, err := AppendRPC(nil, &RPCMsg{Kind: RPCIngest, SID: 1, Raw: make([]byte, MaxRPCFrame)}); err == nil {
+		t.Fatal("oversized frame encoded without error")
+	}
+	big := append(bytes.Repeat([]byte{0xff}, 4), 0x7f)
+	_, _, err := ReadRPCFrame(bufio.NewReader(bytes.NewReader(big)), nil)
+	if err == nil || err == io.EOF {
+		t.Fatalf("oversized frame length accepted: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decentmon/internal/dist"
+	"decentmon/internal/server"
+)
+
+// --- dlmond session-server sweep (the BENCH_dlmond.json trajectory) ---
+
+// DlmondCell is one row of the session-server benchmark: full session
+// lifecycles (register → ingest the running example → close) driven at a
+// fixed concurrency against one in-process dlmond, sessions multiplexed
+// over a bounded connection pool exactly as real tenants would share
+// sockets.
+type DlmondCell struct {
+	Concurrency    int     `json:"concurrency"` // simultaneous session drivers
+	Conns          int     `json:"conns"`       // TCP connections they multiplex over
+	Sessions       int     `json:"sessions"`    // lifecycles completed in the window
+	EventsPerSess  int     `json:"events_per_session"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// DlmondBench is the BENCH_dlmond.json document: the concurrency sweep plus
+// the automaton-cache registration latencies (a cold register compiles the
+// tableau; a warm one only allocates the session).
+type DlmondBench struct {
+	Date  string `json:"date"`
+	GoMax int    `json:"gomaxprocs"`
+	// RegisterMissMicros / RegisterHitMicros are mean registration round-
+	// trip latencies against a cold and a warm automaton cache.
+	RegisterMissMicros float64       `json:"register_miss_micros"`
+	RegisterHitMicros  float64       `json:"register_hit_micros"`
+	Note               string        `json:"note"`
+	Cells              []*DlmondCell `json:"cells"`
+}
+
+const dlmondNote = "sessions/s of full register->ingest->verdict->close lifecycles over loopback TCP at the recorded gomaxprocs; each session monitors the paper's 8-event running example, so events/s = 8x sessions/s"
+
+// dlmondConcurrencies is the sweep plan from the roadmap: a single tenant,
+// a busy daemon, and the 512-session acceptance regime.
+var dlmondConcurrencies = []int{1, 64, 512}
+
+// maxBenchConns bounds the connection pool so the sweep stays well under
+// CI file-descriptor limits; beyond it, sessions multiplex.
+const maxBenchConns = 32
+
+// DlmondSweep measures the session-server workload plan against an
+// in-process dlmond. minWall is the minimum measured wall time per
+// concurrency cell (<=0 takes 200ms).
+func DlmondSweep(minWall time.Duration) (*DlmondBench, error) {
+	if minWall <= 0 {
+		minWall = 200 * time.Millisecond
+	}
+	doc := &DlmondBench{
+		Date:  time.Now().UTC().Format(time.RFC3339),
+		GoMax: runtime.GOMAXPROCS(0),
+		Note:  dlmondNote,
+	}
+
+	ts := dist.RunningExample()
+	var evs []*dist.Event
+	src := ts.Stream()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, e)
+	}
+
+	for _, conc := range dlmondConcurrencies {
+		cell, err := dlmondCell(conc, minWall, ts, evs)
+		if err != nil {
+			return nil, err
+		}
+		doc.Cells = append(doc.Cells, cell)
+	}
+
+	miss, hit, err := dlmondRegisterLatency(ts)
+	if err != nil {
+		return nil, err
+	}
+	doc.RegisterMissMicros = float64(miss.Microseconds())
+	doc.RegisterHitMicros = float64(hit.Microseconds())
+	return doc, nil
+}
+
+// dlmondCell drives conc concurrent session lifecycles for at least minWall
+// against a fresh server.
+func dlmondCell(conc int, minWall time.Duration, ts *dist.TraceSet, evs []*dist.Event) (*DlmondCell, error) {
+	s, err := server.New(server.Config{MetricsAddr: "off"})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Shutdown()
+
+	nconns := conc
+	if nconns > maxBenchConns {
+		nconns = maxBenchConns
+	}
+	clients := make([]*server.Client, nconns)
+	for i := range clients {
+		cl, err := server.Dial(s.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		firstErr atomic.Value
+	)
+	deadline := time.Now().Add(minWall)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w%nconns]
+			tenant := fmt.Sprintf("bench-%d", w%nconns)
+			for time.Now().Before(deadline) {
+				sid, _, err := cl.Register(tenant, dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+				if err == nil {
+					for _, e := range evs {
+						if err = cl.Ingest(sid, e); err != nil {
+							break
+						}
+					}
+				}
+				if err == nil {
+					_, err = cl.CloseSession(sid)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, fmt.Errorf("experiments: dlmond cell conc=%d: %w", conc, err)
+	}
+	cell := &DlmondCell{
+		Concurrency:   conc,
+		Conns:         nconns,
+		Sessions:      int(done.Load()),
+		EventsPerSess: len(evs),
+		WallSeconds:   wall.Seconds(),
+	}
+	if cell.WallSeconds > 0 {
+		cell.SessionsPerSec = float64(cell.Sessions) / cell.WallSeconds
+		cell.EventsPerSec = cell.SessionsPerSec * float64(len(evs))
+	}
+	return cell, nil
+}
+
+// dlmondRegisterLatency measures registration round trips against a cold
+// and a warm cache: distinct properties every time (misses) vs one
+// property re-registered (hits).
+func dlmondRegisterLatency(ts *dist.TraceSet) (miss, hit time.Duration, err error) {
+	s, err := server.New(server.Config{MetricsAddr: "off"})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Shutdown()
+	cl, err := server.Dial(s.Addr())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	// Distinct canonical formulas of comparable (small) tableau size, so
+	// the mean measures the typical compile cost, not a pathological one.
+	missFormulas := []string{
+		"F (x1=10)", "F (x1>=5)", "F (x2>=15)", "G (x1=10)",
+		"G (x1>=5)", "F (x1=10 && x2>=15)", "G (x1>=5 || x2>=15)",
+		"x1>=5 U x2>=15",
+	}
+	reps := len(missFormulas)
+	var sids []uint64
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sid, hitReg, err := cl.Register("bench", missFormulas[i], ts.InitialState(), ts.Props)
+		if err != nil {
+			return 0, 0, err
+		}
+		if hitReg {
+			return 0, 0, fmt.Errorf("experiments: distinct formula %q hit the cache", missFormulas[i])
+		}
+		sids = append(sids, sid)
+	}
+	miss = time.Since(start) / time.Duration(reps)
+
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		sid, hitReg, err := cl.Register("bench", missFormulas[0], ts.InitialState(), ts.Props)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i > 0 && !hitReg {
+			return 0, 0, fmt.Errorf("experiments: repeated formula missed the cache")
+		}
+		sids = append(sids, sid)
+	}
+	hit = time.Since(start) / time.Duration(reps)
+
+	for _, sid := range sids {
+		if _, err := cl.CloseSession(sid); err != nil {
+			return 0, 0, err
+		}
+	}
+	return miss, hit, nil
+}
+
+// RenderDlmondCells renders the sweep as the stdout table.
+func RenderDlmondCells(doc *DlmondBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-6s %-10s %-12s %-12s\n", "concurrency", "conns", "sessions", "sessions/s", "events/s")
+	for _, c := range doc.Cells {
+		fmt.Fprintf(&sb, "%-12d %-6d %-10d %-12.1f %-12.1f\n", c.Concurrency, c.Conns, c.Sessions, c.SessionsPerSec, c.EventsPerSec)
+	}
+	fmt.Fprintf(&sb, "registration : %.0fµs cold (tableau compiled), %.0fµs warm (cache hit)\n",
+		doc.RegisterMissMicros, doc.RegisterHitMicros)
+	return sb.String()
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"decentmon/internal/dist"
+)
+
+// Client is a dlmond connection: the programmatic face of the RPC protocol,
+// used by dlmonc, the smoke tests and the load generator. One Client may be
+// shared by several goroutines multiplexing sessions over the connection;
+// synchronous verbs correlate replies by arrival order (the server answers
+// in request order), so each in-flight verb parks on a FIFO of reply
+// channels.
+//
+// Verdict frames for subscribed sessions are delivered on the OnVerdict
+// callback from the read loop; it must not call back into the Client.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	// OnVerdict, when set before Subscribe, receives streamed verdicts.
+	OnVerdict func(m *dist.RPCMsg)
+	// OnAsyncError receives Error frames that answer no pending verb
+	// (ingestion failures). Nil drops them.
+	OnAsyncError func(m *dist.RPCMsg)
+
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	pending []chan *dist.RPCMsg
+
+	readErr  error
+	readDone chan struct{}
+	once     sync.Once
+}
+
+// Dial connects and performs the hello exchange.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c), readDone: make(chan struct{})}
+	if err := cl.writeMsg(&dist.RPCMsg{Kind: dist.RPCHello, Version: dist.RPCVersion}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	payload, _, err := dist.ReadRPCFrame(cl.br, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("server: hello exchange: %w", err)
+	}
+	m, err := dist.DecodeRPC(payload)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if m.Kind == dist.RPCError {
+		c.Close()
+		return nil, fmt.Errorf("server: %s", m.Err)
+	}
+	if m.Kind != dist.RPCHello || m.Version != dist.RPCVersion {
+		c.Close()
+		return nil, fmt.Errorf("server: unexpected hello reply %s v%d", m.Kind, m.Version)
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (cl *Client) writeMsg(m *dist.RPCMsg) error {
+	frame, err := dist.AppendRPC(nil, m)
+	if err != nil {
+		return err
+	}
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	if _, err := cl.bw.Write(frame); err != nil {
+		return err
+	}
+	return cl.bw.Flush()
+}
+
+// call sends a synchronous verb and waits for its reply.
+func (cl *Client) call(m *dist.RPCMsg) (*dist.RPCMsg, error) {
+	reply := make(chan *dist.RPCMsg, 1)
+	frame, err := dist.AppendRPC(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	cl.wmu.Lock()
+	// Enqueue before the bytes can hit the wire so the reply always finds
+	// its channel.
+	cl.pending = append(cl.pending, reply)
+	_, err = cl.bw.Write(frame)
+	if err == nil {
+		err = cl.bw.Flush()
+	}
+	cl.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	r, ok := <-reply
+	if !ok {
+		return nil, cl.readError()
+	}
+	if r.Kind == dist.RPCError {
+		return nil, fmt.Errorf("server: %s", r.Err)
+	}
+	return r, nil
+}
+
+func (cl *Client) readError() error {
+	<-cl.readDone
+	if cl.readErr != nil {
+		return cl.readErr
+	}
+	return fmt.Errorf("server: connection closed")
+}
+
+// readLoop demultiplexes incoming frames: verdicts to OnVerdict, everything
+// else to the oldest pending verb.
+func (cl *Client) readLoop() {
+	var scratch []byte
+	var payload []byte
+	var err error
+	for {
+		payload, scratch, err = dist.ReadRPCFrame(cl.br, scratch)
+		if err != nil {
+			break
+		}
+		var m *dist.RPCMsg
+		if m, err = dist.DecodeRPC(payload); err != nil {
+			break
+		}
+		if m.Kind == dist.RPCVerdict {
+			if cl.OnVerdict != nil {
+				cl.OnVerdict(m)
+			}
+			continue
+		}
+		cl.wmu.Lock()
+		var reply chan *dist.RPCMsg
+		if len(cl.pending) > 0 {
+			reply = cl.pending[0]
+			cl.pending = cl.pending[1:]
+		}
+		cl.wmu.Unlock()
+		if reply == nil {
+			if m.Kind == dist.RPCError && cl.OnAsyncError != nil {
+				cl.OnAsyncError(m)
+			}
+			continue
+		}
+		// Slice fields alias the scratch buffer; copy what outlives this
+		// iteration.
+		if m.Verdicts != nil {
+			m.Verdicts = append([]byte(nil), m.Verdicts...)
+		}
+		if m.Raw != nil {
+			m.Raw = append([]byte(nil), m.Raw...)
+		}
+		// Reply channels have capacity 1 and receive exactly one message,
+		// so this send always succeeds immediately.
+		select {
+		case reply <- m:
+		default:
+		}
+	}
+	cl.readErr = err
+	cl.wmu.Lock()
+	for _, ch := range cl.pending {
+		close(ch)
+	}
+	cl.pending = nil
+	cl.wmu.Unlock()
+	close(cl.readDone)
+}
+
+// Register opens a session for a property and returns its id and whether
+// the compiled automaton came from the cache.
+func (cl *Client) Register(tenant, formula string, init dist.GlobalState, props *dist.PropMap) (sid uint64, cacheHit bool, err error) {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCRegister, Tenant: tenant, Formula: formula, Init: init, Props: props})
+	if err != nil {
+		return 0, false, err
+	}
+	if r.Kind != dist.RPCRegistered {
+		return 0, false, fmt.Errorf("server: unexpected %s reply to register", r.Kind)
+	}
+	return r.SID, r.CacheHit, nil
+}
+
+// Subscribe streams the session's verdicts to OnVerdict on this connection.
+func (cl *Client) Subscribe(sid uint64) error {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCSubscribe, SID: sid})
+	if err != nil {
+		return err
+	}
+	if r.Kind != dist.RPCAcked {
+		return fmt.Errorf("server: unexpected %s reply to subscribe", r.Kind)
+	}
+	return nil
+}
+
+// Ingest feeds one pre-stamped event, fire-and-forget: ingestion failures
+// arrive later on OnAsyncError and doom the session.
+func (cl *Client) Ingest(sid uint64, e *dist.Event) error {
+	rec, err := dist.AppendEventRecord(nil, e)
+	if err != nil {
+		return err
+	}
+	return cl.writeMsg(&dist.RPCMsg{Kind: dist.RPCIngest, SID: sid, Raw: rec})
+}
+
+// Emit live-stamps one event on the server. For sends, the returned id is
+// the message id the matching Recv Emit must present.
+func (cl *Client) Emit(sid uint64, kind dist.EventType, proc, peer, msgID int, state dist.LocalState) (int, error) {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCEmit, SID: sid, EmitKind: kind, Proc: proc, Peer: peer, MsgID: msgID, State: state})
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != dist.RPCEmitted {
+		return 0, fmt.Errorf("server: unexpected %s reply to emit", r.Kind)
+	}
+	return r.MsgID, nil
+}
+
+// End marks one process of the session terminated.
+func (cl *Client) End(sid uint64, proc int) error {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCEnd, SID: sid, Proc: proc})
+	if err != nil {
+		return err
+	}
+	if r.Kind != dist.RPCAcked {
+		return fmt.Errorf("server: unexpected %s reply to end", r.Kind)
+	}
+	return nil
+}
+
+// CloseSession drains and finalizes the session, returning its terminal
+// verdict codes (dist.RPCVerdict* values).
+func (cl *Client) CloseSession(sid uint64) ([]byte, error) {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCClose, SID: sid})
+	if err != nil {
+		return nil, err
+	}
+	if r.Kind != dist.RPCClosed {
+		return nil, fmt.Errorf("server: unexpected %s reply to close", r.Kind)
+	}
+	return r.Verdicts, nil
+}
+
+// Close tears down the connection.
+func (cl *Client) Close() error {
+	var err error
+	cl.once.Do(func() { err = cl.c.Close() })
+	return err
+}

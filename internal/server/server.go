@@ -1,0 +1,460 @@
+// Package server implements dlmond, the multi-tenant monitoring-as-a-service
+// session daemon: a TCP front end that hosts many concurrent decentralized
+// monitoring sessions inside one process.
+//
+// The wire protocol is the length-prefixed binary RPC defined in
+// internal/dist (rpc.go), framed exactly like ".dmtb" trace records. A
+// tenant registers an LTL property (compiled through a shared automaton
+// cache), ingests pre-stamped event records or live-stamps events through
+// the server's vector clocks, subscribes to incremental verdicts, and
+// closes the session to collect the terminal verdict set.
+//
+// Internally the session table is sharded across cores — one goroutine owns
+// each shard map, mirroring the engine's single-writer-per-monitor
+// invariant — and a per-tenant token bucket paces ingestion so one hot
+// tenant cannot starve the rest (the pause is served on the hot tenant's
+// own connection; TCP flow control propagates it to that feeder only).
+// Observability is a plain net/http endpoint: /healthz and Prometheus-text
+// /metrics.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the RPC listen address (host:port). Empty selects
+	// 127.0.0.1:0 (ephemeral; read the bound address with Addr).
+	Addr string
+	// MetricsAddr is the HTTP observability listen address. Empty selects
+	// 127.0.0.1:0; "off" disables the endpoint.
+	MetricsAddr string
+	// Shards is the registry shard count; 0 selects GOMAXPROCS.
+	Shards int
+	// Rate is the per-tenant admission rate in events/second; <= 0
+	// disables admission control.
+	Rate float64
+	// Burst is the token-bucket burst size (events); 0 selects Rate.
+	Burst float64
+	// MaxLag is forwarded to each session's core.SessionConfig (per-session
+	// backpressure); 0 selects the core default.
+	MaxLag int
+}
+
+// Server is a running dlmond instance.
+type Server struct {
+	cfg     Config
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	reg     *registry
+	cache   *AutomatonCache
+	limiter *tenantLimiter
+	mx      *metrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[*srvConn]struct{}
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New binds the listeners and starts serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MetricsAddr == "" {
+		cfg.MetricsAddr = "127.0.0.1:0"
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: rpc listener: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		reg:     newRegistry(cfg.Shards),
+		cache:   NewAutomatonCache(),
+		limiter: newTenantLimiter(cfg.Rate, cfg.Burst),
+		mx:      &metrics{},
+		ctx:     ctx,
+		cancel:  cancel,
+		stop:    make(chan struct{}),
+		conns:   map[*srvConn]struct{}{},
+	}
+	if cfg.MetricsAddr != "off" {
+		httpLn, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			cancel()
+			return nil, fmt.Errorf("server: metrics listener: %w", err)
+		}
+		s.httpLn = httpLn
+		s.httpSrv = &http.Server{Handler: s.mx.httpHandler(s.scrapeExtra)}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.httpSrv.Serve(httpLn)
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the bound RPC address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr is the bound observability address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// scrapeExtra walks the registry at scrape time for the gauges that cannot
+// be plain counters.
+func (s *Server) scrapeExtra() snapshotExtra {
+	var x snapshotExtra
+	s.reg.Fold(func(sess *session) {
+		// ~56 bytes of Event struct + 8 bytes per vector clock entry, per
+		// retained event — an estimate, not an accounting.
+		x.knowledgeBytes += sess.cs.RetainedEvents() * int64(56+8*sess.n)
+	})
+	x.cacheHits, x.cacheMisses = s.cache.Stats()
+	x.cacheEntries = s.cache.Len()
+	return x
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		sc := &srvConn{srv: s, c: c, bw: bufio.NewWriter(c)}
+		s.connMu.Lock()
+		s.conns[sc] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.serve()
+			s.connMu.Lock()
+			delete(s.conns, sc)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes every connection, finalizes every live
+// session, and releases the listeners. Idempotent.
+func (s *Server) Shutdown() error {
+	s.shutOnce.Do(func() {
+		close(s.stop)
+		s.ln.Close()
+		if s.httpSrv != nil {
+			s.httpSrv.Close()
+		}
+		s.connMu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.connMu.Unlock()
+		live := s.reg.Close()
+		var firstErr error
+		for _, sess := range live {
+			if _, err := sess.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.mx.sessionsLive.Add(-1)
+		}
+		s.cancel()
+		s.wg.Wait()
+		s.shutErr = firstErr
+	})
+	return s.shutErr
+}
+
+// srvConn is one client connection: a read loop dispatching frames, and a
+// mutex-guarded writer shared between replies and asynchronous verdict
+// deliveries.
+type srvConn struct {
+	srv  *Server
+	c    net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	gone atomic.Bool
+
+	// tenant is set by the first Register on the connection and pins the
+	// admission-control identity.
+	tenant string
+	// local caches session pointers so the registry round trip happens
+	// once per session, not once per event.
+	local map[uint64]*session
+}
+
+// write frames and flushes one message. Errors mark the connection gone;
+// the read loop notices on its next read.
+func (sc *srvConn) write(m *dist.RPCMsg) {
+	frame, err := dist.AppendRPC(nil, m)
+	if err != nil {
+		return
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.gone.Load() {
+		return
+	}
+	if _, err := sc.bw.Write(frame); err == nil {
+		err = sc.bw.Flush()
+		if err == nil {
+			return
+		}
+	}
+	sc.gone.Store(true)
+	sc.c.Close()
+}
+
+func (sc *srvConn) writeErr(sid uint64, err error) {
+	sc.srv.mx.errorsTotal.Add(1)
+	sc.write(&dist.RPCMsg{Kind: dist.RPCError, SID: sid, Err: err.Error()})
+}
+
+func (sc *srvConn) serve() {
+	defer sc.c.Close()
+	defer sc.gone.Store(true)
+	sc.local = map[uint64]*session{}
+	br := bufio.NewReader(sc.c)
+
+	// Hello exchange: the client speaks first; reject unknown versions.
+	payload, scratch, err := dist.ReadRPCFrame(br, nil)
+	if err != nil {
+		return
+	}
+	hello, err := dist.DecodeRPC(payload)
+	if err != nil || hello.Kind != dist.RPCHello {
+		sc.writeErr(0, fmt.Errorf("server: connection must open with hello"))
+		return
+	}
+	if hello.Version != dist.RPCVersion {
+		sc.writeErr(0, fmt.Errorf("server: protocol version %d not supported (want %d)", hello.Version, dist.RPCVersion))
+		return
+	}
+	sc.write(&dist.RPCMsg{Kind: dist.RPCHello, Version: dist.RPCVersion})
+
+	for {
+		payload, scratch, err = dist.ReadRPCFrame(br, scratch)
+		if err != nil {
+			return
+		}
+		m, err := dist.DecodeRPC(payload)
+		if err != nil {
+			sc.writeErr(0, err)
+			return
+		}
+		if !sc.dispatch(m) {
+			return
+		}
+	}
+}
+
+// dispatch handles one frame; false ends the connection.
+func (sc *srvConn) dispatch(m *dist.RPCMsg) bool {
+	switch m.Kind {
+	case dist.RPCRegister:
+		sc.handleRegister(m)
+	case dist.RPCIngest:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		sc.throttle(sess.tenant, 1)
+		e, err := dist.DecodeEventRecord(m.Raw, sess.n)
+		if err == nil {
+			err = sess.ingest(e)
+		}
+		if err != nil {
+			// Ingest is fire-and-forget; failures arrive asynchronously
+			// and doom the session rather than the connection.
+			sc.writeErr(m.SID, err)
+			return true
+		}
+		sc.srv.mx.eventsTotal.Add(1)
+	case dist.RPCEmit:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		sc.throttle(sess.tenant, 1)
+		id, err := sess.emit(m.EmitKind, m.Proc, m.Peer, m.MsgID, m.State)
+		if err != nil {
+			sc.writeErr(m.SID, err)
+			return true
+		}
+		sc.srv.mx.eventsTotal.Add(1)
+		sc.write(&dist.RPCMsg{Kind: dist.RPCEmitted, SID: m.SID, MsgID: id})
+	case dist.RPCSubscribe:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		sess.subscribe(&subscriber{
+			gone: sc.gone.Load,
+			deliver: func(ev core.VerdictEvent, sid uint64) {
+				sc.write(&dist.RPCMsg{
+					Kind: dist.RPCVerdict, SID: sid, Monitor: ev.Monitor,
+					Verdict: byte(ev.Verdict), AutState: ev.State,
+					Conclusive: ev.Conclusive, Cut: ev.Cut,
+				})
+			},
+		})
+		sc.write(&dist.RPCMsg{Kind: dist.RPCAcked, SID: m.SID})
+	case dist.RPCEnd:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		if err := sess.end(m.Proc); err != nil {
+			sc.writeErr(m.SID, err)
+			return true
+		}
+		sc.write(&dist.RPCMsg{Kind: dist.RPCAcked, SID: m.SID})
+	case dist.RPCClose:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		res, err := sess.close()
+		sc.srv.reg.Del(m.SID)
+		delete(sc.local, m.SID)
+		sc.srv.mx.sessionsLive.Add(-1)
+		if err != nil {
+			sc.writeErr(m.SID, err)
+			return true
+		}
+		var codes []byte
+		for _, v := range res.VerdictList() {
+			codes = append(codes, byte(v))
+		}
+		sc.write(&dist.RPCMsg{Kind: dist.RPCClosed, SID: m.SID, Verdicts: codes})
+	default:
+		sc.writeErr(m.SID, fmt.Errorf("server: unexpected verb %s", m.Kind))
+		return false
+	}
+	return true
+}
+
+// resolve maps a session id to its session, answering with an Error frame
+// when it is unknown.
+func (sc *srvConn) resolve(sid uint64) *session {
+	if sess, ok := sc.local[sid]; ok {
+		return sess
+	}
+	sess, err := sc.srv.reg.Get(sid)
+	if err == nil && sess == nil {
+		err = fmt.Errorf("server: no session %d", sid)
+	}
+	if err != nil {
+		sc.writeErr(sid, err)
+		return nil
+	}
+	sc.local[sid] = sess
+	return sess
+}
+
+// throttle charges the tenant's token bucket and serves any owed pause on
+// this connection — only the hot tenant's feeder slows down.
+func (sc *srvConn) throttle(tenant string, n int) {
+	wait := sc.srv.limiter.Reserve(tenant, n, time.Now())
+	if wait <= 0 {
+		return
+	}
+	sc.srv.mx.throttleNanos.Add(int64(wait))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-sc.srv.stop:
+	}
+}
+
+func (sc *srvConn) handleRegister(m *dist.RPCMsg) {
+	if sc.tenant == "" {
+		sc.tenant = m.Tenant
+	} else if sc.tenant != m.Tenant {
+		sc.writeErr(0, fmt.Errorf("server: connection belongs to tenant %q, not %q", sc.tenant, m.Tenant))
+		return
+	}
+	if len(m.Init) == 0 {
+		sc.writeErr(0, fmt.Errorf("server: register names no processes"))
+		return
+	}
+	// Registration costs a burst-sized chunk of the tenant's budget:
+	// compiling automata is the most expensive verb we expose.
+	sc.throttle(m.Tenant, 8)
+	key, f, err := CanonicalKey(m.Formula, m.Props)
+	if err != nil {
+		sc.writeErr(0, err)
+		return
+	}
+	mon, hit, err := sc.srv.cache.Get(key, f, m.Props)
+	if err != nil {
+		sc.writeErr(0, err)
+		return
+	}
+	sess, err := newSession(sc.srv.ctx, m.Tenant, key, core.SessionConfig{
+		N:         len(m.Init),
+		Automaton: mon,
+		Props:     m.Props,
+		Init:      m.Init,
+		MaxLag:    sc.srv.cfg.MaxLag,
+	}, sc.srv.mx)
+	if err != nil {
+		sc.writeErr(0, err)
+		return
+	}
+	sid, err := sc.srv.reg.Add(sess)
+	if err != nil {
+		sess.close()
+		sc.writeErr(0, err)
+		return
+	}
+	sc.local[sid] = sess
+	sc.srv.mx.sessionsLive.Add(1)
+	sc.srv.mx.sessionsTotal.Add(1)
+	sc.write(&dist.RPCMsg{Kind: dist.RPCRegistered, SID: sid, CacheHit: hit})
+}

@@ -1,0 +1,523 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decentmon/internal/automaton"
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+	"decentmon/internal/ltl"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown() })
+	return s
+}
+
+// exampleEvents linearizes the running example once; events are read-only
+// and shared across sessions (ingestion serializes them per frame).
+func exampleEvents(t *testing.T) []*dist.Event {
+	t.Helper()
+	var evs []*dist.Event
+	src := dist.RunningExample().Stream()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, e)
+	}
+}
+
+// expectedCodes computes the in-process verdict set for a formula over the
+// running example — the reference every RPC round trip must reproduce.
+func expectedCodes(t *testing.T, formula string) string {
+	t.Helper()
+	ts := dist.RunningExample()
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := automaton.Build(f, ts.Props.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.RunConfig{Traces: ts, Automaton: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []byte
+	for _, v := range res.VerdictList() {
+		codes = append(codes, byte(v))
+	}
+	return codeString(codes)
+}
+
+func codeString(codes []byte) string {
+	var sb strings.Builder
+	for i, c := range codes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(dist.RPCVerdictString(c))
+	}
+	return sb.String()
+}
+
+// runExampleSession drives one full session lifecycle over an established
+// client connection and returns the terminal verdict codes.
+func runExampleSession(t *testing.T, cl *Client, tenant, formula string, evs []*dist.Event) []byte {
+	t.Helper()
+	ts := dist.RunningExample()
+	sid, _, err := cl.Register(tenant, formula, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for _, e := range evs {
+		if err := cl.Ingest(sid, e); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	codes, err := cl.CloseSession(sid)
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return codes
+}
+
+// TestServerEndToEnd pins the core contract: registering the running
+// example's property over TCP and replaying its trace produces exactly the
+// in-process verdict set, with incremental verdicts streamed to the
+// subscriber along the way.
+func TestServerEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var streamed atomic.Int64
+	cl.OnVerdict = func(m *dist.RPCMsg) { streamed.Add(1) }
+
+	ts := dist.RunningExample()
+	sid, hit, err := cl.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first registration reported a cache hit")
+	}
+	if err := cl.Subscribe(sid); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exampleEvents(t) {
+		if err := cl.Ingest(sid, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	codes, err := cl.CloseSession(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := codeString(codes), expectedCodes(t, dist.RunningExampleProperty); got != want {
+		t.Errorf("verdicts over RPC = {%s}, in-process = {%s}", got, want)
+	}
+	if streamed.Load() == 0 {
+		t.Error("no incremental verdicts were streamed to the subscriber")
+	}
+
+	// Re-registering the same property (different spelling) hits the cache.
+	sid2, hit, err := cl.Register("acme", "G ((x1>=5) -> ((x2>=15) U (x1=10)))", ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("alpha-equivalent re-registration missed the cache")
+	}
+	if _, err := cl.CloseSession(sid2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEmitLive drives the running example through server-side
+// stamping: the client never sees a vector clock, only event kinds and
+// message ids, yet the verdict set matches the pre-stamped replay.
+func TestServerEmitLive(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ts := dist.RunningExample()
+	sid, _, err := cl.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0: send(m1); x1=5; x1=10; recv(m2)   P1: recv(m1); x2=15; x2=20; send(m2)
+	m1, err := cl.Emit(sid, dist.Send, 0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Emit(sid, dist.Recv, 1, 0, m1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []dist.LocalState{0b01, 0b11} {
+		if _, err := cl.Emit(sid, dist.Internal, 0, -1, 0, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 2 {
+		if _, err := cl.Emit(sid, dist.Internal, 1, -1, 0, 0b1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := cl.Emit(sid, dist.Send, 1, 0, 0, 0b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Emit(sid, dist.Recv, 0, 1, m2, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	codes, err := cl.CloseSession(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := codeString(codes), expectedCodes(t, dist.RunningExampleProperty); got != want {
+		t.Errorf("live-stamped verdicts = {%s}, replay = {%s}", got, want)
+	}
+}
+
+// TestServerManySessions is the scale acceptance test: one dlmond process
+// holds 512 sessions open concurrently (64 under -short), every one of
+// them completing the full register → ingest → verdict → close lifecycle
+// with the correct verdict set, over a bounded number of connections
+// (sessions multiplex; the daemon does not need a socket per session).
+func TestServerManySessions(t *testing.T) {
+	conns, perConn := 32, 16
+	if testing.Short() {
+		conns, perConn = 8, 8
+	}
+	total := conns * perConn
+
+	s := newTestServer(t, Config{})
+	evs := exampleEvents(t)
+	ts := dist.RunningExample()
+	formulas := []string{
+		dist.RunningExampleProperty,
+		"G((x1>=5) ->((x2>=15)U(x1=10)))", // same canonical key as above
+		"F (x1=10)",
+		"G (x1>=5 -> F x1=10)",
+	}
+	want := make(map[string]string, len(formulas))
+	for _, f := range formulas {
+		want[f] = expectedCodes(t, f)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		registered sync.WaitGroup
+		proceed    = make(chan struct{})
+		peak       atomic.Int64
+		failures   atomic.Int64
+	)
+	registered.Add(conns)
+	for c := range conns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				registered.Done()
+				failures.Add(1)
+				return
+			}
+			defer cl.Close()
+			tenant := fmt.Sprintf("tenant-%d", c)
+			sids := make([]uint64, perConn)
+			forms := make([]string, perConn)
+			for i := range perConn {
+				forms[i] = formulas[(c*perConn+i)%len(formulas)]
+				sid, _, err := cl.Register(tenant, forms[i], ts.InitialState(), ts.Props)
+				if err != nil {
+					t.Errorf("conn %d register %d: %v", c, i, err)
+					registered.Done()
+					failures.Add(1)
+					return
+				}
+				sids[i] = sid
+			}
+			registered.Done()
+			<-proceed // barrier: every session is open before any closes
+			for _, e := range evs {
+				for _, sid := range sids {
+					if err := cl.Ingest(sid, e); err != nil {
+						t.Errorf("conn %d ingest: %v", c, err)
+						failures.Add(1)
+						return
+					}
+				}
+			}
+			for i, sid := range sids {
+				codes, err := cl.CloseSession(sid)
+				if err != nil {
+					t.Errorf("conn %d close %d: %v", c, i, err)
+					failures.Add(1)
+					return
+				}
+				if got := codeString(codes); got != want[forms[i]] {
+					t.Errorf("conn %d session %d (%s): verdicts {%s}, want {%s}", c, i, forms[i], got, want[forms[i]])
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	registered.Wait()
+	peak.Store(s.mx.sessionsLive.Load())
+	close(proceed)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatalf("%d connections failed", failures.Load())
+	}
+	if got := peak.Load(); got != int64(total) {
+		t.Errorf("sessions live at the barrier = %d, want %d", got, total)
+	}
+	if got := s.mx.sessionsLive.Load(); got != 0 {
+		t.Errorf("sessions live after close = %d, want 0", got)
+	}
+	hits, misses := s.cache.Stats()
+	// Four spellings over one proposition space collapse to three compiled
+	// automata; everything else must be a hit.
+	if misses != 3 {
+		t.Errorf("automaton cache misses = %d, want 3 (one per distinct property)", misses)
+	}
+	if hits != int64(total)-3 {
+		t.Errorf("automaton cache hits = %d, want %d", hits, int64(total)-3)
+	}
+}
+
+// TestServerHotTenantIsolation pins the admission-control contract: a
+// tenant flooding events gets throttled (its connection pays the pause)
+// while a well-behaved tenant's full session lifecycle stays fast.
+func TestServerHotTenantIsolation(t *testing.T) {
+	// 200 events/s with burst 50: the quiet tenant's ~17 charged units fit
+	// in the burst; the hot tenant's thousands do not.
+	s := newTestServer(t, Config{Rate: 200, Burst: 50})
+	evs := exampleEvents(t)
+	ts := dist.RunningExample()
+
+	// Hot tenant: a flood of ingests on its own connection, until shutdown.
+	hotStarted := make(chan struct{})
+	hotDone := make(chan struct{})
+	go func() {
+		defer close(hotDone)
+		cl, err := Dial(s.Addr())
+		if err != nil {
+			t.Error(err)
+			close(hotStarted)
+			return
+		}
+		defer cl.Close()
+		sid, _, err := cl.Register("hot", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+		if err != nil {
+			t.Error(err)
+			close(hotStarted)
+			return
+		}
+		close(hotStarted)
+		for i := 0; i < 100000; i++ {
+			// Replaying the first event over and over is invalid input, but
+			// throttling happens before decoding: the flood exercises
+			// admission control regardless (the session is doomed, the
+			// tenant keeps paying).
+			if err := cl.Ingest(sid, evs[0]); err != nil {
+				return // server shut down under us: expected
+			}
+		}
+	}()
+	<-hotStarted
+
+	// Quiet tenant: full lifecycle, measured.
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	codes := runExampleSession(t, cl, "quiet", dist.RunningExampleProperty, evs)
+	quietWall := time.Since(start)
+
+	if got, want := codeString(codes), expectedCodes(t, dist.RunningExampleProperty); got != want {
+		t.Errorf("quiet tenant verdicts {%s}, want {%s}", got, want)
+	}
+	// Generous CI-safe bound: the quiet tenant must complete its whole
+	// lifecycle orders of magnitude faster than the hot tenant's backlog
+	// (which owes hundreds of seconds of pause at this rate).
+	if quietWall > 5*time.Second {
+		t.Errorf("quiet tenant lifecycle took %v alongside a flooding tenant", quietWall)
+	}
+	if s.mx.throttleNanos.Load() == 0 {
+		t.Error("flooding tenant was never throttled")
+	}
+	s.Shutdown() // unblocks the hot tenant's pause
+	<-hotDone
+}
+
+// TestServerMetricsEndpoints checks the observability surface end to end.
+func TestServerMetricsEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	runExampleSession(t, cl, "acme", dist.RunningExampleProperty, exampleEvents(t))
+
+	resp, err := http.Get("http://" + s.MetricsAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + s.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"dlmond_sessions_total 1",
+		"dlmond_events_total 8",
+		"dlmond_sessions_live 0",
+		"dlmond_automaton_cache_misses_total 1",
+		"dlmond_verdict_latency_seconds_count",
+		"dlmond_knowledge_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "# TYPE dlmond_verdict_latency_seconds histogram") {
+		t.Error("/metrics missing histogram type line")
+	}
+}
+
+// TestServerRejectsProtocolMisuse covers the error paths a misbehaving
+// client hits: no hello, bad version, unknown session, cross-tenant reuse.
+func TestServerRejectsProtocolMisuse(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// Unknown session id.
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Subscribe(999); err == nil || !strings.Contains(err.Error(), "no session") {
+		t.Errorf("subscribe to unknown session: %v", err)
+	}
+	// A connection is pinned to its first tenant.
+	ts := dist.RunningExample()
+	if _, _, err := cl.Register("a", "F (x1=10)", ts.InitialState(), ts.Props); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Register("b", "F (x1=10)", ts.InitialState(), ts.Props); err == nil {
+		t.Error("cross-tenant register on one connection succeeded")
+	}
+	// Unparseable property.
+	if _, _, err := cl.Register("a", "G (", ts.InitialState(), ts.Props); err == nil {
+		t.Error("registering a malformed property succeeded")
+	}
+}
+
+// TestRegistryShards unit-tests the sharded session table.
+func TestRegistryShards(t *testing.T) {
+	r := newRegistry(4)
+	var sids []uint64
+	for range 64 {
+		sid, err := r.Add(&session{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sids = append(sids, sid)
+	}
+	for _, sid := range sids {
+		s, err := r.Get(sid)
+		if err != nil || s == nil {
+			t.Fatalf("Get(%d) = %v, %v", sid, s, err)
+		}
+		if s.id != sid {
+			t.Errorf("session %d carries id %d", sid, s.id)
+		}
+	}
+	var n int
+	r.Fold(func(*session) { n++ })
+	if n != 64 {
+		t.Errorf("fold visited %d sessions, want 64", n)
+	}
+	for _, sid := range sids[:32] {
+		if err := r.Del(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, err := r.Get(sids[0]); err != nil || s != nil {
+		t.Errorf("deleted session still resolves: %v, %v", s, err)
+	}
+	live := r.Close()
+	if len(live) != 32 {
+		t.Errorf("close returned %d live sessions, want 32", len(live))
+	}
+	if _, err := r.Get(sids[40]); err == nil {
+		t.Error("Get succeeded after Close")
+	}
+}
+
+// TestTokenBucket unit-tests reservation math.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(100, 10, now)
+	if w := b.Reserve(10, now); w != 0 {
+		t.Errorf("burst reservation owes %v", w)
+	}
+	// Bucket empty: 50 more events at 100/s owe 500ms.
+	if w := b.Reserve(50, now); w < 400*time.Millisecond || w > 600*time.Millisecond {
+		t.Errorf("debt reservation owes %v, want ~500ms", w)
+	}
+	// A second later the refill has cleared the debt and topped out at the
+	// burst (10 tokens): 20 more events owe 10 tokens = 100ms.
+	if w := b.Reserve(20, now.Add(time.Second)); w != 100*time.Millisecond {
+		t.Errorf("post-refill reservation owes %v, want 100ms", w)
+	}
+	l := newTenantLimiter(0, 0)
+	if w := l.Reserve("x", 1000, now); w != 0 {
+		t.Errorf("disabled limiter owes %v", w)
+	}
+}

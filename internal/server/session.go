@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+	"decentmon/internal/vclock"
+)
+
+// session is one tenant's monitoring session: a core.Session plus the
+// server-side state around it — live-stamping clock assignment, verdict
+// fan-out to subscribers, and the bookkeeping the metrics endpoint reads.
+//
+// The core session runs with Shards: 1 (the serial goroutine-per-monitor
+// scheduler): dlmond's parallelism is across sessions, and hundreds of
+// per-session work-stealing pools would only thrash each other (see
+// PERFORMANCE.md).
+type session struct {
+	id     uint64
+	tenant string
+	key    string // canonical property key (cache key)
+	n      int
+	cs     *core.Session
+
+	// lastIngest is the wall clock (unix nanos) of the most recent event
+	// accepted, the reference point for verdict latency.
+	lastIngest atomic.Int64
+	// events ingested into this session.
+	events atomic.Int64
+
+	// Live stamping. stampMu serializes Emit calls for the session (the
+	// stamper is single-writer per process; one lock per session keeps the
+	// protocol simple, and live-stamping tenants drive one session from one
+	// connection anyway). tokens holds in-flight message tokens by id.
+	stampMu sync.Mutex
+	stamper *dist.Stamper
+	tokens  map[int]dist.MsgToken
+
+	// subMu guards subscribers and the fields the verdict pump writes.
+	subMu   sync.Mutex
+	subs    []*subscriber
+	lastCut vclock.VC
+	doomed  error
+
+	// pumpDone closes when the verdict pump drains (after core Close).
+	pumpDone chan struct{}
+
+	closeOnce sync.Once
+	result    *core.RunResult
+	closeErr  error
+}
+
+// subscriber is one connection's verdict feed. deliver must not block the
+// pump: writes go through the connection's write lock with the connection
+// already gone treated as an unsubscribe.
+type subscriber struct {
+	deliver func(ev core.VerdictEvent, sid uint64)
+	gone    func() bool
+}
+
+func newSession(ctx context.Context, tenant, key string, cfg core.SessionConfig, mx *metrics) (*session, error) {
+	cfg.Shards = 1
+	cs, err := core.NewSession(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		tenant:   tenant,
+		key:      key,
+		n:        cfg.N,
+		cs:       cs,
+		stamper:  dist.NewStamper(cfg.N),
+		tokens:   map[int]dist.MsgToken{},
+		pumpDone: make(chan struct{}),
+	}
+	s.lastIngest.Store(time.Now().UnixNano())
+	go s.pump(mx)
+	return s, nil
+}
+
+// pump forwards verdict detections to subscribers and feeds the latency
+// histogram. Range-over-channel: core.Session closes Verdicts on Close, so
+// the pump drains and exits with no extra stop plumbing.
+func (s *session) pump(mx *metrics) {
+	defer close(s.pumpDone)
+	for ev := range s.cs.Verdicts() {
+		mx.verdictsTotal.Add(1)
+		mx.observeLatency(time.Duration(time.Now().UnixNano() - s.lastIngest.Load()))
+		s.subMu.Lock()
+		if len(ev.Cut) > 0 {
+			s.lastCut = vclock.VC(ev.Cut).Clone()
+		}
+		subs := s.subs
+		s.subMu.Unlock()
+		for _, sub := range subs {
+			if !sub.gone() {
+				sub.deliver(ev, s.id)
+			}
+		}
+	}
+}
+
+// subscribe attaches a verdict feed.
+func (s *session) subscribe(sub *subscriber) {
+	s.subMu.Lock()
+	s.subs = append(s.subs, sub)
+	s.subMu.Unlock()
+}
+
+// LastCut returns the consistent cut of the most recent verdict detection.
+// The returned clock aliases session storage (clockalias borrow contract):
+// callers must Clone before retaining or mutating it.
+func (s *session) LastCut() vclock.VC {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.lastCut
+}
+
+// doom marks the session failed; the error is reported on close and to any
+// later ingest.
+func (s *session) doom(err error) {
+	s.subMu.Lock()
+	if s.doomed == nil {
+		s.doomed = err
+	}
+	s.subMu.Unlock()
+}
+
+func (s *session) doomedErr() error {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.doomed
+}
+
+// ingest feeds one pre-stamped event.
+func (s *session) ingest(e *dist.Event) error {
+	if err := s.doomedErr(); err != nil {
+		return fmt.Errorf("server: session %d failed earlier: %w", s.id, err)
+	}
+	s.lastIngest.Store(time.Now().UnixNano())
+	if err := s.cs.Feed(e); err != nil {
+		s.doom(err)
+		return err
+	}
+	s.events.Add(1)
+	return nil
+}
+
+// emit live-stamps one event and feeds it. For sends it returns the
+// message id the matching receive must present; receives look their token
+// up by that id.
+func (s *session) emit(kind dist.EventType, proc, peer, msgID int, state dist.LocalState) (int, error) {
+	s.stampMu.Lock()
+	var (
+		e   *dist.Event
+		id  int
+		err error
+	)
+	at := float64(time.Now().UnixNano()) / 1e9
+	switch kind {
+	case dist.Internal:
+		e, err = s.stamper.Internal(proc, state, at)
+	case dist.Send:
+		var tok dist.MsgToken
+		e, tok, err = s.stamper.Send(proc, peer, state, at)
+		if err == nil {
+			s.tokens[tok.ID] = tok
+			id = tok.ID
+		}
+	case dist.Recv:
+		tok, ok := s.tokens[msgID]
+		if !ok {
+			s.stampMu.Unlock()
+			return 0, fmt.Errorf("server: session %d: receive names unknown message %d", s.id, msgID)
+		}
+		if tok.To != proc {
+			s.stampMu.Unlock()
+			return 0, fmt.Errorf("server: session %d: message %d is addressed to process %d, not %d", s.id, msgID, tok.To, proc)
+		}
+		delete(s.tokens, msgID)
+		e, err = s.stamper.Recv(proc, tok, state, at)
+		id = msgID
+	default:
+		err = fmt.Errorf("server: session %d: unknown event kind %d", s.id, int(kind))
+	}
+	s.stampMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, s.ingest(e)
+}
+
+// end marks one process terminated.
+func (s *session) end(p int) error {
+	return s.cs.End(p)
+}
+
+// close drains and finalizes the session, idempotently.
+func (s *session) close() (*core.RunResult, error) {
+	s.closeOnce.Do(func() {
+		s.result, s.closeErr = s.cs.Close()
+		<-s.pumpDone
+		if err := s.doomedErr(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.result, s.closeErr
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -218,6 +219,91 @@ func TestManyEndpoints(t *testing.T) {
 	for j := 0; j < 5; j++ {
 		for k := 0; k < 4; k++ {
 			<-nw.Endpoint(j).Inbox()
+		}
+	}
+}
+
+// TestTCPCloseRace pins the Close-never-wedges guarantee at the TCP layer
+// under the race detector: Close racing in-flight Sends, read loops mid-
+// frame, stuffed inboxes that nobody drains, and a concurrent second Close.
+// Every failure mode here is a hang (caught by the deadline) or a data
+// race (caught by -race); after Close returns, every inbox must be closed
+// and every Send must fail cleanly.
+func TestTCPCloseRace(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		nw, err := NewTCPNetwork(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte("x"), 512)
+		var senders sync.WaitGroup
+		stopSend := make(chan struct{})
+		// Hammer every ordered pair. Endpoint 0's inbox is deliberately
+		// never drained, so its read loops end up blocked on a full inbox —
+		// the exact wedge the stop channel exists to break.
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i == j {
+					continue
+				}
+				senders.Add(1)
+				go func(i, j int) {
+					defer senders.Done()
+					ep := nw.Endpoint(i)
+					for {
+						select {
+						case <-stopSend:
+							return
+						default:
+						}
+						if err := ep.Send(j, payload); err != nil {
+							return // closed under us: expected
+						}
+					}
+				}(i, j)
+			}
+		}
+		// Drain inboxes 1..3 until they close; inbox 0 stays stuffed.
+		var drainers sync.WaitGroup
+		for i := 1; i < 4; i++ {
+			drainers.Add(1)
+			go func(i int) {
+				defer drainers.Done()
+				for range nw.Endpoint(i).Inbox() {
+				}
+			}(i)
+		}
+		time.Sleep(5 * time.Millisecond) // let traffic build up
+
+		closed := make(chan error, 2)
+		go func() { closed <- nw.Close() }()
+		go func() { closed <- nw.Close() }() // concurrent double Close
+		for k := 0; k < 2; k++ {
+			select {
+			case err := <-closed:
+				if err != nil {
+					t.Fatalf("round %d: Close: %v", round, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("round %d: Close wedged", round)
+			}
+		}
+		close(stopSend)
+		senders.Wait()
+		drainers.Wait()
+		// After Close: inboxes closed (reads don't block), Sends fail.
+		for i := 0; i < 4; i++ {
+			select {
+			case _, ok := <-nw.Endpoint(i).Inbox():
+				for ok {
+					_, ok = <-nw.Endpoint(i).Inbox()
+				}
+			case <-time.After(time.Second):
+				t.Fatalf("round %d: inbox %d not closed after Close", round, i)
+			}
+			if err := nw.Endpoint(i).Send((i+1)%4, payload); err == nil {
+				t.Fatalf("round %d: Send succeeded after Close", round)
+			}
 		}
 	}
 }
