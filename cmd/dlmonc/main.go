@@ -10,6 +10,17 @@
 //	dlmond &
 //	dlmonc -addr 127.0.0.1:7381 -trace t.dmtb 'F (P0.p && P1.p)'
 //
+// Against a durable daemon (dlmond -state DIR) a session can be fed in
+// installments and resumed across daemon restarts:
+//
+//	dlmonc -trace t.dmtb -events 100 -no-close 'F (P0.p)'  # prints the sid
+//	# ... dlmond crashes or restarts ...
+//	dlmonc -trace t.dmtb -attach SID                       # resumes, closes
+//
+// -attach asks the daemon where the session stands (per-process fed
+// counts) and re-sends only what the daemon has not absorbed — including
+// anything lost between the last checkpoint and the crash.
+//
 // Exit status: 0 on success, 1 on error, 2 on usage mistakes, and 3 when
 // the verdict set contains ⊥ — the same contract as dlmon, so CI smoke
 // legs gate identically on both binaries.
@@ -36,18 +47,25 @@ func main() {
 		tenant    = flag.String("tenant", "dlmonc", "tenant identity for admission control")
 		tracePath = flag.String("trace", "", "trace set file (.json, .jsonl, .dmtb or .gob) from tracegen")
 		verbose   = flag.Bool("v", false, "print each streamed verdict detection")
+		attach    = flag.Uint64("attach", 0, "resume session SID on a durable daemon instead of registering")
+		limit     = flag.Int("events", 0, "ingest at most N events this run (0 = all; pairs with -no-close)")
+		noClose   = flag.Bool("no-close", false, "leave the session open for a later -attach instead of closing it")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dlmonc -trace FILE [flags] 'formula'")
+		fmt.Fprintln(os.Stderr, "       dlmonc -trace FILE -attach SID [flags]")
 		fmt.Fprintln(os.Stderr, "exit status: 0 ok, 1 error, 2 usage, 3 verdict set contains ⊥ (violation)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *tracePath == "" || flag.NArg() != 1 {
+	if *tracePath == "" || (*attach == 0 && flag.NArg() != 1) || (*attach != 0 && flag.NArg() != 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	formula := flag.Arg(0)
+	formula := "(attached session)"
+	if *attach == 0 {
+		formula = flag.Arg(0)
+	}
 
 	ts, err := dist.LoadFile(*tracePath)
 	if err != nil {
@@ -69,9 +87,24 @@ func main() {
 		}
 	}
 
-	sid, hit, err := cl.Register(*tenant, formula, ts.InitialState(), ts.Props)
-	if err != nil {
-		fatal(err)
+	var (
+		sid uint64
+		hit bool
+		fed []int
+	)
+	if *attach != 0 {
+		sid = *attach
+		var epoch uint64
+		epoch, fed, err = cl.Attach(sid)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("attached       : session %d at epoch %d, fed %v\n", sid, epoch, fed)
+	} else {
+		sid, hit, err = cl.Register(*tenant, formula, ts.InitialState(), ts.Props)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if err := cl.Subscribe(sid); err != nil {
 		fatal(err)
@@ -86,10 +119,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// On resume, skip the prefix the daemon already absorbed: SN is the
+		// event's 1-based per-process sequence number.
+		if fed != nil && e.Proc < len(fed) && e.SN <= fed[e.Proc] {
+			continue
+		}
 		if err := cl.Ingest(sid, e); err != nil {
 			fatal(err)
 		}
 		events++
+		if *limit > 0 && events >= *limit {
+			break
+		}
+	}
+	if *noClose {
+		fmt.Printf("property       : %s\n", formula)
+		fmt.Printf("session        : %d on %s left open after %d events (resume with -attach %d)\n", sid, *addr, events, sid)
+		return
 	}
 	codes, err := cl.CloseSession(sid)
 	if err != nil {

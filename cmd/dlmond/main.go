@@ -14,6 +14,11 @@
 // -metrics address (sessions live, events and verdicts ingested, retained
 // knowledge bytes, verdict latency histogram, automaton cache hit rate).
 //
+// With -state DIR the daemon is durable: every session is checkpointed to
+// DIR on the -checkpoint-every cadence (atomic write-then-rename), and a
+// restarted daemon recovers them; clients re-adopt a recovered session
+// with dlmonc -attach SID and resume feeding at the reported fed counts.
+//
 // Usage:
 //
 //	dlmond -addr 127.0.0.1:7381 -metrics 127.0.0.1:7382 -rate 10000
@@ -38,6 +43,8 @@ func main() {
 		rate    = flag.Float64("rate", 0, "per-tenant admission rate, events/second (0 disables)")
 		burst   = flag.Float64("burst", 0, "per-tenant burst size, events (0 = rate)")
 		maxLag  = flag.Int("maxlag", 0, "per-session retained-knowledge bound (events/monitor; 0 = default)")
+		state   = flag.String("state", "", "durable-session state directory (empty disables checkpointing)")
+		ckEvery = flag.Int("checkpoint-every", 0, "events between session checkpoints (0 = default 256; needs -state)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dlmond [flags]")
@@ -50,12 +57,14 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Addr:        *addr,
-		MetricsAddr: *metrics,
-		Shards:      *shards,
-		Rate:        *rate,
-		Burst:       *burst,
-		MaxLag:      *maxLag,
+		Addr:            *addr,
+		MetricsAddr:     *metrics,
+		Shards:          *shards,
+		Rate:            *rate,
+		Burst:           *burst,
+		MaxLag:          *maxLag,
+		StateDir:        *state,
+		CheckpointEvery: *ckEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dlmond: %v\n", err)
@@ -64,6 +73,9 @@ func main() {
 	fmt.Printf("dlmond: rpc on %s\n", s.Addr())
 	if m := s.MetricsAddr(); m != "" {
 		fmt.Printf("dlmond: metrics on http://%s/metrics\n", m)
+	}
+	if *state != "" {
+		fmt.Printf("dlmond: durable state in %s (%d sessions recovered)\n", *state, s.Recovered())
 	}
 
 	sig := make(chan os.Signal, 1)

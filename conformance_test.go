@@ -26,16 +26,13 @@ import (
 //
 // Engine coverage per size:
 //
-//   - n ≤ 5: all engines. The exhaustive engines (replicated broadcast,
-//     centralized) must reproduce the oracle verdict set exactly; the
-//     decentralized engine and the live Session must be *sound* (every
-//     reported verdict in the oracle set) and *conclusive-complete*
-//     (⊤/⊥ match the oracle exactly — the paper's Chapter-3 claim).
-//     Finalized ?-reporting is sound but not guaranteed complete: the
-//     finalize pass extends only views that survived a monitor's own cut
-//     chain, so an inconclusive path avoiding every chain can go
-//     unreported (first exhibited by this gauntlet at D/ring/n=5; see
-//     ROADMAP).
+//   - n ≤ 5: all engines, at full verdict-set equality. The exhaustive
+//     engines (replicated broadcast, centralized) reproduce the oracle set
+//     by construction; the decentralized engine and the live Session reach
+//     the same bar because finalization now retains a residual view per
+//     absorbed conclusive pivot, so inconclusive paths that avoid every
+//     cut chain still report (the gap this gauntlet first exhibited at
+//     D/ring/n=5 — TestFinalizeResidualRegression pins that cell).
 //   - n ≥ 8: decentralized (finalization-free: the finalize pass explores
 //     an n-dimensional box and is intractable by construction at n = 16),
 //     bounded path and live Session; conclusive verdicts must match the
@@ -157,18 +154,15 @@ func conclusives(set map[Verdict]bool) string {
 	return out
 }
 
-// checkSoundConclusiveComplete pins the decentralized contract against a
-// complete oracle: every reported verdict is in the oracle set (soundness,
-// ? included) and the conclusive verdicts match exactly.
-func checkSoundConclusiveComplete(t *testing.T, engine string, got map[Verdict]bool, oracle *OracleResult) {
+// checkVerdictSetEqual pins the finalize-enabled decentralized contract
+// against a complete oracle: full verdict-set equality, ? included.
+// Soundness and conclusive-completeness are subsumed; ?-completeness is
+// what the residual-view finalization bought (see TestFinalizeResidual-
+// Regression for the cell that used to fail this bar).
+func checkVerdictSetEqual(t *testing.T, engine string, got map[Verdict]bool, oracle *OracleResult) {
 	t.Helper()
-	for v := range got {
-		if !oracle.HasVerdict(v) {
-			t.Errorf("%s: UNSOUND verdict %v outside oracle set %v", engine, v, oracle.Verdicts)
-		}
-	}
-	if g, w := conclusives(got), conclusives(oracle.VerdictSet()); g != w {
-		t.Errorf("%s: conclusive %q != oracle %q", engine, g, w)
+	if g, w := verdictSetString(got), verdictSetString(oracle.VerdictSet()); g != w {
+		t.Errorf("%s: verdict set %q != oracle %q", engine, g, w)
 	}
 }
 
@@ -269,10 +263,50 @@ func TestConformanceGauntlet(t *testing.T) {
 	}
 }
 
-// conformSmall checks every engine against the exact oracle (equality for
-// the exhaustive engines, sound + conclusive-complete for the
-// decentralized ones) and cross-validates the tractable oracles against
-// the DP.
+// TestFinalizeResidualRegression pins the finalization-?' completeness
+// counterexample the PR 5 gauntlet surfaced: property D, ring, n=5, seed
+// 2015. The exact oracle's verdict set is {⊥, ?} — some interleavings of
+// the trace violate the until obligation, others stay inconclusive to the
+// final cut. Before residual-view finalization every monitor reported only
+// ⊥: each monitor's own cut chain stepped every surviving view into the
+// absorbing ⊥ state, so the finalize pass had no view left to extend and
+// the inconclusive interleavings (which avoid every chain) went
+// unreported. The retained residuals now re-explore exactly those paths.
+func TestFinalizeResidualRegression(t *testing.T) {
+	cell := gauntletCell{prop: "D", n: 5, arity: 5, topo: TopoRing, seed: 2015}
+	spec := gauntletSpec(t, cell.prop, cell.arity)
+	ts, err := Generate(cell.gen()).WithProps(spec.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Oracle(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixture guard: the counterexample only bites while the ground truth
+	// is exactly {⊥, ?}. If generator or property drift ever changes the
+	// oracle set, this cell no longer pins the gap — fail loudly rather
+	// than degrade into a vacuous pass.
+	if got := verdictSetString(oracle.VerdictSet()); got != Bottom.String()+Unknown.String() {
+		t.Fatalf("fixture drift: oracle set %q, want {⊥, ?} — repin the counterexample", got)
+	}
+	dec, err := Run(spec, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdictSetEqual(t, "decentralized", dec.Verdicts, oracle)
+	decEx, err := Run(spec, ts, WithExactBoxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdictSetEqual(t, "decentralized/exact-boxes", decEx.Verdicts, oracle)
+	sess, _ := feedSession(t, spec, ts)
+	checkVerdictSetEqual(t, "session", sess.Verdicts, oracle)
+}
+
+// conformSmall checks every engine against the exact oracle (full
+// verdict-set equality for every finalize-enabled engine) and
+// cross-validates the tractable oracles against the DP.
 func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 	oracle, err := Oracle(spec, ts)
 	if err != nil {
@@ -284,7 +318,7 @@ func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkSoundConclusiveComplete(t, "decentralized", dec.Verdicts, oracle)
+	checkVerdictSetEqual(t, "decentralized", dec.Verdicts, oracle)
 	// Box-strategy axis: the same run with the legacy full-width exact DP
 	// forced. Both strategies must satisfy the decentralized contract and
 	// agree with each other on the conclusive verdicts.
@@ -292,7 +326,7 @@ func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkSoundConclusiveComplete(t, "decentralized/exact-boxes", decEx.Verdicts, oracle)
+	checkVerdictSetEqual(t, "decentralized/exact-boxes", decEx.Verdicts, oracle)
 	if g, w := conclusives(decEx.Verdicts), conclusives(dec.Verdicts); g != w {
 		t.Errorf("box strategies disagree: exact %q != sliced %q", g, w)
 	}
@@ -318,7 +352,7 @@ func conformSmall(t *testing.T, spec *Spec, ts *TraceSet) *OracleResult {
 		t.Errorf("bounded path verdict %v outside oracle set %s", path.Verdict, want)
 	}
 	sess, observed := feedSession(t, spec, ts)
-	checkSoundConclusiveComplete(t, "session", sess.Verdicts, oracle)
+	checkVerdictSetEqual(t, "session", sess.Verdicts, oracle)
 	for v := range observed {
 		if !oracle.HasVerdict(v) {
 			t.Errorf("session emitted conclusive %v outside oracle set %s", v, want)

@@ -33,7 +33,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // freshCallees are functions/methods whose result is independently owned.
-var freshCallees = map[string]bool{"Clone": true, "Max": true, "New": true, "append": true, "make": true}
+// vc and vcLen are the snapshot wire decoder's clock readers
+// (internal/core, restore path): they materialize fresh slices from the
+// blob, never aliases of live monitor state, so rebinding from them clears
+// the taint like any other clone.
+var freshCallees = map[string]bool{"Clone": true, "Max": true, "New": true, "append": true, "make": true, "vc": true, "vcLen": true}
 
 // borrowCallees are accessors whose result aliases internal state.
 // LastCut is the dlmond session accessor (internal/server): it returns the

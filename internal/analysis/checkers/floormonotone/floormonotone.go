@@ -11,7 +11,10 @@
 //
 // Allowed writes to a floor-named field (name matching floor/minCut):
 // whole-value assignment from needFloor()/New/Clone/Max/Merge or from
-// another floor field, or nil. Everything else — element writes, Tick,
+// another floor field, or nil. The snapshot-restore path (vcLen, the
+// wire decoder's clock reader) is also blessed: a restored floor was
+// blessed when captured, and the restore validates the whole blob before
+// any handler can observe it. Everything else — element writes, Tick,
 // copy-into — is flagged.
 package floormonotone
 
@@ -35,7 +38,9 @@ var Analyzer = &analysis.Analyzer{
 var floorField = regexp.MustCompile(`(?i)floor|mincut`)
 
 // blessedCallees produce values that are valid floors by construction.
-var blessedCallees = map[string]bool{"needFloor": true, "New": true, "Clone": true, "Max": true, "Merge": true, "make": true}
+// vcLen is the snapshot wire decoder's clock reader: floors it yields were
+// blessed when the snapshot was captured (restore-path exemption).
+var blessedCallees = map[string]bool{"needFloor": true, "New": true, "Clone": true, "Max": true, "Merge": true, "make": true, "vcLen": true}
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {

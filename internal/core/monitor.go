@@ -115,6 +115,15 @@ type globalView struct {
 
 func gvKey(cut vclock.VC) string { return cut.Key() }
 
+// residualView is the pre-absorption remnant of a global view: the states
+// that concluded at cut by this monitor's own chain, kept so finalization can
+// re-explore their *other* extensions (which may stay inconclusive to the
+// final cut). Both fields are owned clones, never aliased into a live view.
+type residualView struct {
+	states stateset
+	cut    vclock.VC
+}
+
 // stateSearch is one automaton state's possibly-enabled outgoing-transition
 // set during maybeLaunchSearches; ids live in idScratch[lo:hi] and the
 // state's signature in sigBuf[sigLo:sigHi] (both scratch-backed).
@@ -170,6 +179,16 @@ type Monitor struct {
 	gvs      map[string]*globalView
 	launched map[string]bool // search dedupe: q|cutKey
 
+	// residuals retain, per cut, the automaton states that stepped into a
+	// conclusive (absorbing) state there. A conclusive step ends the *view's*
+	// path, but other interleavings extending the same prefix may avoid the
+	// conclusion entirely; finalization explores each residual to the global
+	// final cut so those inconclusive paths still report (the finalization-?
+	// completeness gap surfaced by the PR 5 gauntlet: property D, ring, n=5,
+	// seed 2015). Residual cuts join the need-floor so GC keeps the history
+	// the finalize-time exploration will walk.
+	residuals map[string]*residualView
+
 	searchSeq     int64
 	outstanding   map[int64]bool   // searches awaiting full resolution
 	searchSig     map[int64]string // searchID -> signature, for suppression
@@ -221,6 +240,19 @@ type Monitor struct {
 	onProgress    func()
 	searchesDone  int64
 
+	// Snapshot quiescence accounting (snapshot.go): outSent counts monitor
+	// messages enqueued to peers, incremented BEFORE the transport send so
+	// that handled ≤ sent holds at every instant; inHandled counts inputs
+	// whose full handling round — handlers plus pump — has completed. With
+	// feeds paused, sum(inHandled) catching up to the input baseline plus
+	// sum(outSent) proves stable global quiescence (Session.awaitQuiescence).
+	outSent   atomic.Int64
+	inHandled atomic.Int64
+
+	// restored marks a monitor rebuilt from a snapshot: start() then skips
+	// INIT, whose effects the restored state already contains.
+	restored bool
+
 	err error
 }
 
@@ -253,6 +285,7 @@ func New(cfg Config, ep transport.Endpoint) (*Monitor, error) {
 		feed:          make(chan feedItem, cfg.FeedBuffer),
 		gvs:           map[string]*globalView{},
 		launched:      map[string]bool{},
+		residuals:     map[string]*residualView{},
 		outstanding:   map[int64]bool{},
 		searchSig:     map[int64]string{},
 		activeSig:     map[string]int{},
@@ -396,11 +429,13 @@ func (m *Monitor) Run(ctx context.Context) error {
 		ctx = context.Background()
 	}
 	m.start(ctx)
+	m.inHandled.Add(1) // the INIT round (counted even when restored skips it)
 	inbox := m.ep.Inbox()
 	for !m.finished() && m.err == nil {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		handled := int64(1)
 		select {
 		case item := <-m.feed:
 			m.handleFeed(item)
@@ -426,17 +461,20 @@ func (m *Monitor) Run(ctx context.Context) error {
 					return fmt.Errorf("core: monitor %d: network closed before termination", m.cfg.Index)
 				}
 				m.handleMessage(msg)
+				handled++
 				continue
 			default:
 			}
 			select {
 			case item := <-m.feed:
 				m.handleFeed(item)
+				handled++
 			default:
 				break drain
 			}
 		}
 		m.pump()
+		m.inHandled.Add(handled) // round complete: handlers and pump both ran
 	}
 	return m.err
 }
@@ -445,6 +483,11 @@ func (m *Monitor) Run(ctx context.Context) error {
 // consumes the initial global state. Shared by Run and RunSharded.
 func (m *Monitor) start(ctx context.Context) {
 	m.ctx = ctx
+	if m.restored {
+		// INIT already ran in the execution this state was captured from;
+		// re-running it would duplicate the initial view and its verdicts.
+		return
+	}
 	q0 := m.mon.Step(m.mon.Initial(), m.pm.Letter(m.cfg.Init))
 	if m.mon.Final(q0) {
 		m.recordVerdictState(q0, vclock.New(m.cfg.N))
@@ -904,6 +947,7 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 			// scratch set; the view's old set becomes the next scratch.
 			ns := m.ssScratch
 			ns.clear()
+			var absorbed stateset
 			for w, word := range gv.states {
 				for word != 0 {
 					q := w*64 + bits.TrailingZeros64(word)
@@ -911,13 +955,28 @@ func (m *Monitor) advanceGV(key string, gv *globalView) bool {
 					nq := m.mon.Step(q, gv.letter)
 					if m.mon.Final(nq) {
 						m.recordVerdictState(nq, gv.cut)
-						continue // conclusive states are absorbing: stop tracing
+						// Conclusive states are absorbing: stop tracing this
+						// chain. Other interleavings from q's cut may avoid
+						// the conclusion entirely; keep q as a residual so
+						// finalization re-explores them.
+						if m.cfg.FinalizeFull {
+							if absorbed == nil {
+								absorbed = newStateset(m.mon.NumStates())
+							}
+							absorbed.set(q)
+						}
+						continue
 					}
 					ns.set(nq)
 				}
 			}
+			if absorbed != nil {
+				pre := gv.cut.Clone()
+				pre[i] = next - 1
+				m.retainResidual(absorbed, pre)
+			}
 			if ns.empty() {
-				return true // every path concluded; the view's work is done
+				return true // every chained path concluded; residuals keep the rest
 			}
 			m.ssScratch = gv.states
 			gv.states = ns
@@ -1117,9 +1176,40 @@ func (m *Monitor) recordVerdictState(q int, cut vclock.VC) {
 	}
 }
 
-// maybeFinalize extends every surviving view to the global final cut once
-// everything has terminated and all searches are resolved, so the monitor's
-// verdict set covers the paths it traced end-to-end.
+// retainResidual records states absorbed by a conclusive step at cut, for
+// finalize-time re-exploration; residuals at the same cut merge like views
+// (MergeSimilarGlobalViews). The caller must own both arguments: they are
+// retained verbatim and the cut joins the need-floor, so aliasing a live
+// view's storage here would corrupt the GC argument.
+func (m *Monitor) retainResidual(states stateset, cut vclock.VC) {
+	m.keyBuf = cut.AppendKey(m.keyBuf[:0])
+	if r, ok := m.residuals[string(m.keyBuf)]; ok { // allocation-free probe
+		r.states.or(states)
+		return
+	}
+	m.residuals[string(m.keyBuf)] = &residualView{states: states, cut: cut}
+}
+
+// residualKeys snapshots the residual cut keys in deterministic order,
+// sharing gvKeys' keyScratch discipline (callers finish iterating before any
+// other scratch user runs).
+func (m *Monitor) residualKeys() []string {
+	keys := m.keyScratch[:0]
+	for k := range m.residuals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	m.keyScratch = keys
+	return keys
+}
+
+// maybeFinalize extends every surviving view — and every retained residual —
+// to the global final cut once everything has terminated and all searches are
+// resolved, so the monitor's verdict set covers the paths it traced
+// end-to-end, including inconclusive interleavings whose chained prefix was
+// absorbed by a conclusive step. Inconclusive final states report the
+// originating view's (or residual's) cut — the last verified consistent cut
+// of the path, meaningful provenance — rather than the global final cut.
 func (m *Monitor) maybeFinalize() {
 	if !m.cfg.FinalizeFull || m.finalized {
 		return
@@ -1127,11 +1217,13 @@ func (m *Monitor) maybeFinalize() {
 	if !m.quiescent() {
 		return
 	}
-	// With no surviving views there is nothing to extend: finalize without
-	// fetching. (Also a GC invariant: a monitor with no views has reported
-	// an infinite need-floor, so peers may already have collected the
-	// history a blanket fetch-to-final would request.)
-	if len(m.gvs) == 0 {
+	// With no surviving views and no residuals there is nothing to extend:
+	// finalize without fetching. (Also a GC invariant: such a monitor has
+	// reported an infinite need-floor, so peers may already have collected
+	// the history a blanket fetch-to-final would request. Residual cuts are
+	// folded into needFloor, so the symmetric argument keeps the fetches
+	// below safe.)
+	if len(m.gvs) == 0 && len(m.residuals) == 0 {
 		m.finalized = true
 		return
 	}
@@ -1145,20 +1237,37 @@ func (m *Monitor) maybeFinalize() {
 		return
 	}
 	m.finalizing = false
-	for _, key := range m.gvKeys() {
-		gv := m.gvs[key]
-		box, err := m.explore(gv.states, gv.cut, final)
+	extend := func(states stateset, cut vclock.VC) bool {
+		box, err := m.explore(states, cut, final)
 		if err != nil {
 			m.fail(err)
-			return
+			return false
 		}
 		for _, c := range box.conclusive {
 			m.recordVerdictState(c.q, c.cut)
 		}
 		for _, q := range box.finalStates {
-			m.recordVerdictState(q, final)
+			if m.mon.Final(q) {
+				m.recordVerdictState(q, final)
+			} else {
+				m.recordVerdictState(q, cut)
+			}
+		}
+		return true
+	}
+	for _, key := range m.gvKeys() {
+		gv := m.gvs[key]
+		if !extend(gv.states, gv.cut) {
+			return
 		}
 	}
+	for _, key := range m.residualKeys() {
+		r := m.residuals[key]
+		if !extend(r.states, r.cut) {
+			return
+		}
+	}
+	m.residuals = map[string]*residualView{}
 	m.finalized = true
 }
 
@@ -1318,6 +1427,13 @@ func (m *Monitor) needFloor() vclock.VC {
 	for _, origin := range m.searchOrigin {
 		lower(origin)
 	}
+	// Residual cuts pin the history finalization will re-explore; without
+	// them GC would truncate below a retained pre-absorption cut and the
+	// finalize-time walk would read collected state (a hard panic in
+	// knowledge.state).
+	for _, r := range m.residuals {
+		lower(r.cut)
+	}
 	return f
 }
 
@@ -1383,6 +1499,7 @@ func (m *Monitor) send(to int, msg *wireMsg) {
 		return
 	}
 	m.metrics.MessagesSent++
+	m.outSent.Add(1) // before the transport send: handled can never outrun sent
 	if err := m.ep.Send(to, payload); err != nil {
 		m.fail(err)
 	}
@@ -1409,6 +1526,7 @@ func (m *Monitor) broadcast(msg *wireMsg) {
 			m.sentFloor[j] = m.curFloor
 		}
 		m.metrics.MessagesSent++
+		m.outSent.Add(1) // before the transport send (see send)
 		if err := m.ep.Send(j, payload); err != nil {
 			m.fail(err)
 			return

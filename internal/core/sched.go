@@ -177,6 +177,7 @@ func (m *Monitor) RunSharded(ctx context.Context, sched *scheduler) error {
 		ctx = context.Background()
 	}
 	m.start(ctx) // INIT + first pump, inline: no task is outstanding yet
+	m.inHandled.Add(1)
 	inbox := m.ep.Inbox()
 	consumed := make(chan struct{}, 1)
 	var items []feedItem
@@ -230,6 +231,9 @@ func (m *Monitor) RunSharded(ctx context.Context, sched *scheduler) error {
 				}
 			}
 			m.pump()
+			// Round complete (handlers + pump): account the whole batch for
+			// the snapshot quiescence check, exactly like Run's serial round.
+			m.inHandled.Add(int64(len(batchItems) + len(batchMsgs)))
 			consumed <- struct{}{} // capacity 1, one task outstanding: never blocks
 		})
 		select {

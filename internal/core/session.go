@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decentmon/internal/automaton"
@@ -121,8 +122,22 @@ type Session struct {
 	feedMu []sync.Mutex
 
 	// closeMu serializes Close callers: a second Close blocks until the
-	// first finishes, then returns the same cached outcome.
+	// first finishes, then returns the same cached outcome. Snapshot also
+	// holds it, so a snapshot and a close cannot interleave.
 	closeMu sync.Mutex
+
+	// feedItems counts feed-queue items enqueued across all monitors
+	// (single events, batches and End markers alike), incremented before
+	// the channel send so the snapshot quiescence invariant handled ≤ sent
+	// holds at every instant (see awaitQuiescence).
+	feedItems atomic.Int64
+
+	// emitted logs every VerdictEvent delivered to subscribers, persisted in
+	// snapshots so a restored session replays the history to its own
+	// subscribers. Bounded by N × NumStates (recordVerdictState dedupes per
+	// (monitor, state)), the same bound that sizes the verdicts buffer.
+	emitMu  sync.Mutex
+	emitted []VerdictEvent
 
 	mu          sync.Mutex
 	fed         []int
@@ -138,6 +153,19 @@ type Session struct {
 // network (a default in-memory one when cfg.Network is nil) and closes it
 // with Close.
 func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+	s, err := buildSession(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.launch()
+	return s, nil
+}
+
+// buildSession constructs a session — network, monitors, channels — without
+// starting the monitor goroutines, so RestoreSession can load captured state
+// into the monitors first (a restored monitor must not run a single round
+// before its state is in place).
+func buildSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("core: session needs at least one process")
 	}
@@ -224,6 +252,11 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	if p := shardWorkers(cfg.Shards, cfg.N); p > 1 {
 		s.sched = newScheduler(p)
 	}
+	return s, nil
+}
+
+// launch starts the monitor goroutines of a built session.
+func (s *Session) launch() {
 	for i, m := range s.monitors {
 		s.wg.Add(1)
 		go func(i int, m *Monitor) {
@@ -243,7 +276,6 @@ func NewSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 			s.signalRelief()
 		}(i, m)
 	}
-	return s, nil
 }
 
 // shardWorkers resolves SessionConfig.Shards to a pump-pool size (0 or 1
@@ -271,6 +303,9 @@ func (s *Session) emitVerdict(monitor, state int, v automaton.Verdict, cut vcloc
 	if cut != nil {
 		ev.Cut = []int(cut)
 	}
+	s.emitMu.Lock()
+	s.emitted = append(s.emitted, ev)
+	s.emitMu.Unlock()
 	select {
 	case s.verdicts <- ev:
 	default:
@@ -437,7 +472,9 @@ func (s *Session) Feed(e *dist.Event) error {
 	if err := s.admit(); err != nil {
 		return err
 	}
+	s.feedItems.Add(1) // before the channel send (quiescence accounting)
 	if err := s.monitors[e.Proc].DeliverContext(s.ctx, e); err != nil {
+		s.feedItems.Add(-1) // never enqueued
 		return err
 	}
 	s.mu.Lock()
@@ -486,7 +523,9 @@ func (s *Session) FeedBatch(events []*dist.Event) error {
 	}
 	owned := make([]*dist.Event, len(events))
 	copy(owned, events)
+	s.feedItems.Add(1) // one feed item per batch (quiescence accounting)
 	if err := s.monitors[p].DeliverBatchContext(s.ctx, owned); err != nil {
+		s.feedItems.Add(-1)
 		return err
 	}
 	s.mu.Lock()
@@ -515,7 +554,12 @@ func (s *Session) End(p int) error {
 		s.programWall = time.Since(s.start)
 	}
 	s.mu.Unlock()
-	return s.monitors[p].EndTraceContext(s.ctx, total)
+	s.feedItems.Add(1)
+	if err := s.monitors[p].EndTraceContext(s.ctx, total); err != nil {
+		s.feedItems.Add(-1)
+		return err
+	}
+	return nil
 }
 
 // Close ends every process still open, waits for the monitors to reach

@@ -31,10 +31,16 @@ import (
 //	Subscribe  session id: verdict frames stream on this connection
 //	End        session id + process: no further events of that process
 //	Close      session id: drain, finalize, reply with the verdict set
+//	Attach     session id: re-adopt a session that survived a daemon
+//	           restart (durable-state mode); the Registered reply carries
+//	           the resume epoch and per-process fed counts so the feeder
+//	           knows where to pick the trace back up
 //
 // Verbs (server → client):
 //
-//	Registered  session id + cache-hit flag
+//	Registered  session id + cache-hit flag + resume epoch (how many
+//	            daemon restarts the session has survived) + per-process
+//	            fed event counts (resume feeding process p at Fed[p]+1)
 //	Emitted     acknowledgement of one Emit (message id for sends)
 //	Acked       acknowledgement of End
 //	Verdict     one incremental verdict detection of a subscribed session
@@ -56,6 +62,7 @@ const (
 	RPCSubscribe RPCKind = 5
 	RPCEnd       RPCKind = 6
 	RPCClose     RPCKind = 7
+	RPCAttach    RPCKind = 8
 
 	RPCRegistered RPCKind = 65
 	RPCEmitted    RPCKind = 66
@@ -81,6 +88,8 @@ func (k RPCKind) String() string {
 		return "end"
 	case RPCClose:
 		return "close"
+	case RPCAttach:
+		return "attach"
 	case RPCRegistered:
 		return "registered"
 	case RPCEmitted:
@@ -100,8 +109,9 @@ func (k RPCKind) String() string {
 // RPCMagic opens every dlmond connection (inside the Hello frame).
 var RPCMagic = [4]byte{'D', 'L', 'M', 'D'}
 
-// RPCVersion is the protocol version spoken by this build.
-const RPCVersion = 1
+// RPCVersion is the protocol version spoken by this build. Version 2 added
+// Attach and the epoch/fed fields of Registered (durable sessions).
+const RPCVersion = 2
 
 // MaxRPCFrame bounds one frame's payload: a Register carries a formula and
 // a proposition space, everything else is tens of bytes.
@@ -160,8 +170,13 @@ type RPCMsg struct {
 	State    LocalState
 	MsgID    int
 
-	// Registered.
+	// Registered. Epoch counts daemon restarts the session has survived
+	// (0 for a fresh registration); Fed is the per-process count of events
+	// already absorbed, so a re-attaching feeder resumes process p at its
+	// event Fed[p]+1.
 	CacheHit bool
+	Epoch    uint64
+	Fed      []int
 
 	// Verdict.
 	Monitor    int
@@ -228,7 +243,7 @@ func appendRPCPayload(buf []byte, m *RPCMsg) ([]byte, error) {
 		buf = binary.AppendVarint(buf, int64(m.Peer))
 		buf = binary.AppendUvarint(buf, uint64(m.MsgID))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.State))
-	case RPCSubscribe, RPCClose:
+	case RPCSubscribe, RPCClose, RPCAttach:
 		buf = binary.AppendUvarint(buf, m.SID)
 	case RPCEnd:
 		buf = binary.AppendUvarint(buf, m.SID)
@@ -236,6 +251,11 @@ func appendRPCPayload(buf []byte, m *RPCMsg) ([]byte, error) {
 	case RPCRegistered:
 		buf = binary.AppendUvarint(buf, m.SID)
 		buf = append(buf, boolByte(m.CacheHit))
+		buf = binary.AppendUvarint(buf, m.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Fed)))
+		for _, f := range m.Fed {
+			buf = binary.AppendUvarint(buf, uint64(f))
+		}
 	case RPCEmitted:
 		buf = binary.AppendUvarint(buf, m.SID)
 		buf = binary.AppendUvarint(buf, uint64(m.MsgID))
@@ -430,7 +450,7 @@ func DecodeRPC(payload []byte) (*RPCMsg, error) {
 		}
 		m.State = LocalState(binary.LittleEndian.Uint32(buf[pos:]))
 		pos += 4
-	case RPCSubscribe, RPCClose, RPCAcked:
+	case RPCSubscribe, RPCClose, RPCAttach, RPCAcked:
 		if m.SID, err = uvar("session id"); err != nil {
 			return nil, err
 		}
@@ -452,6 +472,26 @@ func DecodeRPC(payload []byte) (*RPCMsg, error) {
 		}
 		m.CacheHit = buf[pos] != 0
 		pos++
+		if m.Epoch, err = uvar("epoch"); err != nil {
+			return nil, err
+		}
+		fn, err := uvar("fed count")
+		if err != nil {
+			return nil, err
+		}
+		if fn > MaxProps {
+			return nil, fmt.Errorf("dist: rpc registered names %d processes (max %d)", fn, MaxProps)
+		}
+		if fn > 0 {
+			m.Fed = make([]int, fn)
+			for p := range m.Fed {
+				f, err := uvar("fed entry")
+				if err != nil {
+					return nil, err
+				}
+				m.Fed[p] = int(f)
+			}
+		}
 	case RPCEmitted:
 		if m.SID, err = uvar("session id"); err != nil {
 			return nil, err

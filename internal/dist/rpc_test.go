@@ -45,7 +45,9 @@ func TestRPCRoundTripAllVerbs(t *testing.T) {
 		{Kind: RPCSubscribe, SID: 7},
 		{Kind: RPCEnd, SID: 7, Proc: 1},
 		{Kind: RPCClose, SID: 7},
+		{Kind: RPCAttach, SID: 7},
 		{Kind: RPCRegistered, SID: 8, CacheHit: true},
+		{Kind: RPCRegistered, SID: 8, CacheHit: true, Epoch: 3, Fed: []int{4, 0, 17}},
 		{Kind: RPCEmitted, SID: 7, MsgID: 12},
 		{Kind: RPCAcked, SID: 7},
 		{Kind: RPCVerdict, SID: 7, Monitor: 1, Verdict: RPCVerdictBottom,
@@ -59,7 +61,7 @@ func TestRPCRoundTripAllVerbs(t *testing.T) {
 			got.Tenant != m.Tenant || got.Formula != m.Formula ||
 			got.EmitKind != m.EmitKind || got.Proc != m.Proc || got.Peer != m.Peer ||
 			got.MsgID != m.MsgID || got.State != m.State ||
-			got.CacheHit != m.CacheHit || got.Monitor != m.Monitor ||
+			got.CacheHit != m.CacheHit || got.Epoch != m.Epoch || got.Monitor != m.Monitor ||
 			got.Verdict != m.Verdict || got.AutState != m.AutState ||
 			got.Conclusive != m.Conclusive || got.Err != m.Err {
 			t.Errorf("%s: scalar fields changed in round trip:\n in  %+v\n out %+v", m.Kind, m, got)
@@ -79,6 +81,16 @@ func TestRPCRoundTripAllVerbs(t *testing.T) {
 		}
 		if len(got.Init) != len(m.Init) {
 			t.Errorf("%s: init %v -> %v", m.Kind, m.Init, got.Init)
+		}
+		if len(got.Fed) != len(m.Fed) {
+			t.Errorf("%s: fed %v -> %v", m.Kind, m.Fed, got.Fed)
+		} else {
+			for i := range got.Fed {
+				if got.Fed[i] != m.Fed[i] {
+					t.Errorf("%s: fed %v -> %v", m.Kind, m.Fed, got.Fed)
+					break
+				}
+			}
 		}
 		if m.Props != nil {
 			if got.Props == nil || got.Props.Len() != m.Props.Len() {

@@ -100,6 +100,53 @@ func (st *Stamper) Send(p, to int, state LocalState, at float64) (*Event, MsgTok
 	return e, MsgToken{From: p, To: to, ID: id, VC: append([]int(nil), e.VC...)}, nil
 }
 
+// StamperState is the serializable state of a Stamper: the message-id
+// counter plus each process's clock and last timestamp. Clocks are owned by
+// the state value (cloned on capture and on restore), so a snapshot buffer
+// never aliases a live stamper.
+type StamperState struct {
+	MsgSeq int64
+	Clocks []vclock.VC
+	Lasts  []float64
+}
+
+// State captures the stamper for a snapshot. The caller must guarantee
+// quiescence (no concurrent stamping) — the per-process locks are taken one
+// at a time, so a mid-capture stamp would land in neither a consistent
+// "before" nor "after".
+func (st *Stamper) State() StamperState {
+	s := StamperState{
+		MsgSeq: st.msgSeq.Load(),
+		Clocks: make([]vclock.VC, st.n),
+		Lasts:  make([]float64, st.n),
+	}
+	for p := range st.procs {
+		sp := &st.procs[p]
+		sp.mu.Lock()
+		s.Clocks[p] = sp.clock.Clone()
+		s.Lasts[p] = sp.last
+		sp.mu.Unlock()
+	}
+	return s
+}
+
+// RestoreStamper rebuilds a stamper from a captured state.
+func RestoreStamper(n int, s StamperState) (*Stamper, error) {
+	if len(s.Clocks) != n || len(s.Lasts) != n {
+		return nil, fmt.Errorf("dist: stamper state for %d processes, want %d", len(s.Clocks), n)
+	}
+	st := NewStamper(n)
+	st.msgSeq.Store(s.MsgSeq)
+	for p := range st.procs {
+		if len(s.Clocks[p]) != n {
+			return nil, fmt.Errorf("dist: stamper state clock %d has %d entries, want %d", p, len(s.Clocks[p]), n)
+		}
+		copy(st.procs[p].clock, s.Clocks[p])
+		st.procs[p].last = s.Lasts[p]
+	}
+	return st, nil
+}
+
 // Recv stamps the receipt by p of the message identified by tok; the event's
 // clock merges the send's, making the causal dependency explicit.
 func (st *Stamper) Recv(p int, tok MsgToken, state LocalState, at float64) (*Event, error) {

@@ -1,0 +1,317 @@
+package server
+
+// Durable sessions: a dlmond started with Config.StateDir checkpoints each
+// live session to <dir>/session-<id>.dmsn — a "DMSN" snapshot container
+// (internal/dist) holding the server-side session record (tenant, formula
+// source, proposition space, initial state, resume epoch), the live
+// stamper's clocks, the in-flight message tokens, and the embedded core
+// engine snapshot. Files are written to a temp name and renamed into place,
+// so a crash never leaves a torn checkpoint: recovery sees either the old
+// blob or the new one, both self-verifying end to end (trailing CRC).
+//
+// On startup the server scans the directory and re-registers every
+// checkpointed session under its original id with its epoch bumped; a
+// client re-adopts one with Attach and resumes feeding each process at the
+// fed count the Registered reply carries. Events ingested after the last
+// checkpoint are not recovered — the feeder re-sends them, which is why
+// Attach reports fed counts rather than pretending nothing was lost.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"decentmon/internal/dist"
+)
+
+// Checkpoint record tags (tag 0 is the container's end record).
+const (
+	ckTagMeta    = 1 // sid, epoch, tenant, formula, init, proposition space, events
+	ckTagStamper = 2 // live-stamping clocks (dist.AppendStamperState)
+	ckTagTokens  = 3 // in-flight live-stamped message tokens
+	ckTagEngine  = 4 // the embedded core engine snapshot, itself a container
+)
+
+// checkpointState is one decoded checkpoint, everything restoreSession
+// needs to rebuild the session.
+type checkpointState struct {
+	sid     uint64
+	epoch   uint64
+	tenant  string
+	formula string
+	init    dist.GlobalState
+	props   *dist.PropMap
+	events  int64
+	stamper dist.StamperState
+	tokens  map[int]dist.MsgToken
+	engine  []byte
+}
+
+// appendCheckpointMeta encodes the server-side session record.
+func appendCheckpointMeta(b []byte, s *session, epoch uint64) []byte {
+	b = binary.AppendUvarint(b, s.id)
+	b = binary.AppendUvarint(b, epoch)
+	b = appendCkString(b, s.tenant)
+	b = appendCkString(b, s.formula)
+	b = binary.AppendUvarint(b, uint64(len(s.init)))
+	for _, st := range s.init {
+		b = binary.AppendUvarint(b, uint64(st))
+	}
+	b = binary.AppendUvarint(b, uint64(s.props.Len()))
+	for i, name := range s.props.Names {
+		b = binary.AppendUvarint(b, uint64(s.props.Owner[i]))
+		b = appendCkString(b, name)
+	}
+	b = binary.AppendUvarint(b, uint64(s.events.Load()))
+	return b
+}
+
+// appendCheckpointTokens encodes the in-flight token map in id order, so a
+// checkpoint of unchanged state is byte-identical.
+func appendCheckpointTokens(b []byte, tokens map[int]dist.MsgToken) []byte {
+	ids := make([]int, 0, len(tokens))
+	for id := range tokens {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		tok := tokens[id]
+		b = binary.AppendUvarint(b, uint64(tok.ID))
+		b = binary.AppendUvarint(b, uint64(tok.From))
+		b = binary.AppendUvarint(b, uint64(tok.To))
+		b = binary.AppendUvarint(b, uint64(len(tok.VC)))
+		for _, x := range tok.VC {
+			b = binary.AppendUvarint(b, uint64(x))
+		}
+	}
+	return b
+}
+
+func appendCkString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// ckDecoder is a sticky-error cursor over one checkpoint record payload.
+type ckDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *ckDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("server: checkpoint: truncated %s", what)
+	}
+}
+
+func (d *ckDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.buf)
+	if k <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.buf = d.buf[k:]
+	return v
+}
+
+func (d *ckDecoder) str(what string) string {
+	ln := d.uvarint(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < ln {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.buf[:ln])
+	d.buf = d.buf[ln:]
+	return s
+}
+
+func (d *ckDecoder) done(record string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("server: checkpoint: %d trailing bytes in %s record", len(d.buf), record)
+	}
+	return nil
+}
+
+// decodeCheckpoint parses and validates one checkpoint blob. Corruption
+// anywhere — container framing, CRC, record contents — is an error; the
+// engine payload is validated later by core.RestoreSession.
+func decodeCheckpoint(blob []byte) (*checkpointState, error) {
+	r, err := dist.OpenSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	ck := &checkpointState{}
+	var haveMeta, haveStamper, haveTokens bool
+	for {
+		tag, payload, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch tag {
+		case ckTagMeta:
+			if haveMeta {
+				return nil, fmt.Errorf("server: checkpoint: duplicate meta record")
+			}
+			haveMeta = true
+			if err := ck.decodeMeta(payload); err != nil {
+				return nil, err
+			}
+		case ckTagStamper:
+			if haveStamper {
+				return nil, fmt.Errorf("server: checkpoint: duplicate stamper record")
+			}
+			haveStamper = true
+			if ck.stamper, err = dist.DecodeStamperState(payload); err != nil {
+				return nil, err
+			}
+		case ckTagTokens:
+			if haveTokens {
+				return nil, fmt.Errorf("server: checkpoint: duplicate token record")
+			}
+			haveTokens = true
+			if err := ck.decodeTokens(payload); err != nil {
+				return nil, err
+			}
+		case ckTagEngine:
+			if ck.engine != nil {
+				return nil, fmt.Errorf("server: checkpoint: duplicate engine record")
+			}
+			ck.engine = payload
+		}
+	}
+	if !haveMeta || !haveStamper || !haveTokens || ck.engine == nil {
+		return nil, fmt.Errorf("server: checkpoint: incomplete record set")
+	}
+	n := len(ck.init)
+	if len(ck.stamper.Clocks) != n {
+		return nil, fmt.Errorf("server: checkpoint: stamper for %d processes, session has %d", len(ck.stamper.Clocks), n)
+	}
+	for _, tok := range ck.tokens {
+		if tok.From < 0 || tok.From >= n || tok.To < 0 || tok.To >= n || tok.From == tok.To || len(tok.VC) != n {
+			return nil, fmt.Errorf("server: checkpoint: token %d is malformed", tok.ID)
+		}
+	}
+	return ck, nil
+}
+
+func (ck *checkpointState) decodeMeta(payload []byte) error {
+	d := &ckDecoder{buf: payload}
+	ck.sid = d.uvarint("session id")
+	ck.epoch = d.uvarint("epoch")
+	ck.tenant = d.str("tenant")
+	ck.formula = d.str("formula")
+	n := d.uvarint("process count")
+	if d.err == nil && (n < 1 || n > dist.MaxProps) {
+		return fmt.Errorf("server: checkpoint: session of %d processes", n)
+	}
+	for p := uint64(0); p < n && d.err == nil; p++ {
+		ck.init = append(ck.init, dist.LocalState(d.uvarint("initial state")))
+	}
+	nprops := d.uvarint("proposition count")
+	if d.err == nil && nprops > dist.MaxProps {
+		return fmt.Errorf("server: checkpoint: %d propositions (max %d)", nprops, dist.MaxProps)
+	}
+	ck.props = dist.NewPropMap()
+	for k := uint64(0); k < nprops && d.err == nil; k++ {
+		owner := d.uvarint("proposition owner")
+		name := d.str("proposition name")
+		if d.err != nil {
+			break
+		}
+		if owner >= n {
+			return fmt.Errorf("server: checkpoint: proposition %q owned by nonexistent process %d", name, owner)
+		}
+		if err := ck.props.Add(name, int(owner)); err != nil {
+			return err
+		}
+	}
+	ck.events = int64(d.uvarint("event count"))
+	return d.done("meta")
+}
+
+func (ck *checkpointState) decodeTokens(payload []byte) error {
+	d := &ckDecoder{buf: payload}
+	count := d.uvarint("token count")
+	if d.err == nil && count > uint64(len(d.buf)) {
+		return fmt.Errorf("server: checkpoint: token count %d exceeds record", count)
+	}
+	ck.tokens = make(map[int]dist.MsgToken, count)
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		var tok dist.MsgToken
+		tok.ID = int(d.uvarint("token id"))
+		tok.From = int(d.uvarint("token sender"))
+		tok.To = int(d.uvarint("token addressee"))
+		vn := d.uvarint("token clock length")
+		if d.err == nil && vn > uint64(len(d.buf)) {
+			return fmt.Errorf("server: checkpoint: token clock of %d entries exceeds record", vn)
+		}
+		for j := uint64(0); j < vn && d.err == nil; j++ {
+			tok.VC = append(tok.VC, int(d.uvarint("token clock entry")))
+		}
+		if d.err == nil {
+			if _, dup := ck.tokens[tok.ID]; dup {
+				return fmt.Errorf("server: checkpoint: duplicate token %d", tok.ID)
+			}
+			ck.tokens[tok.ID] = tok
+		}
+	}
+	return d.done("token")
+}
+
+// checkpointPath names a session's checkpoint file.
+func checkpointPath(dir string, sid uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("session-%d.dmsn", sid))
+}
+
+// writeCheckpoint atomically installs one checkpoint blob: write to a temp
+// file in the same directory, fsync, rename over the final name. A reader
+// (the recovering daemon) never observes a partial write.
+func writeCheckpoint(dir string, sid uint64, blob []byte) error {
+	tmp, err := os.CreateTemp(dir, fmt.Sprintf(".session-%d-*.tmp", sid))
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	_, err = tmp.Write(blob)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, checkpointPath(dir, sid))
+	}
+	if err != nil {
+		os.Remove(name)
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// listCheckpoints returns the checkpoint files in a state directory.
+func listCheckpoints(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "session-*.dmsn"))
+	if err != nil {
+		return nil, fmt.Errorf("server: state directory scan: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// removeCheckpoint deletes a closed session's checkpoint (idempotent).
+func removeCheckpoint(dir string, sid uint64) {
+	os.Remove(checkpointPath(dir, sid))
+}

@@ -192,6 +192,22 @@ func (cl *Client) Register(tenant, formula string, init dist.GlobalState, props 
 	return r.SID, r.CacheHit, nil
 }
 
+// Attach re-adopts a session that survived a daemon restart (durable-state
+// mode). It returns the resume epoch (how many restarts the session has
+// survived) and the per-process fed counts: the feeder resumes process p at
+// its event fed[p]+1, re-sending anything ingested after the daemon's last
+// checkpoint.
+func (cl *Client) Attach(sid uint64) (epoch uint64, fed []int, err error) {
+	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCAttach, SID: sid})
+	if err != nil {
+		return 0, nil, err
+	}
+	if r.Kind != dist.RPCRegistered {
+		return 0, nil, fmt.Errorf("server: unexpected %s reply to attach", r.Kind)
+	}
+	return r.Epoch, r.Fed, nil
+}
+
 // Subscribe streams the session's verdicts to OnVerdict on this connection.
 func (cl *Client) Subscribe(sid uint64) error {
 	r, err := cl.call(&dist.RPCMsg{Kind: dist.RPCSubscribe, SID: sid})

@@ -16,12 +16,18 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 // Prometheus text exposition format on demand. No registry, no deps —
 // matching the repo's stdlib-only posture.
 type metrics struct {
-	sessionsLive   atomic.Int64
-	sessionsTotal  atomic.Int64
-	eventsTotal    atomic.Int64
-	verdictsTotal  atomic.Int64
-	errorsTotal    atomic.Int64
-	throttleNanos  atomic.Int64
+	sessionsLive  atomic.Int64
+	sessionsTotal atomic.Int64
+	eventsTotal   atomic.Int64
+	verdictsTotal atomic.Int64
+	errorsTotal   atomic.Int64
+	throttleNanos atomic.Int64
+
+	// Durable-session counters (StateDir mode).
+	sessionsRecovered atomic.Int64
+	checkpointsTotal  atomic.Int64
+	checkpointErrors  atomic.Int64
+
 	latencyCounts  [10]atomic.Int64 // one per bucket + overflow
 	latencySumNano atomic.Int64
 	latencyCount   atomic.Int64
@@ -65,6 +71,9 @@ func (m *metrics) render(w *strings.Builder, x snapshotExtra) {
 	counter("dlmond_verdicts_total", "Verdict detections streamed to subscribers.", m.verdictsTotal.Load())
 	counter("dlmond_errors_total", "RPC errors returned to clients.", m.errorsTotal.Load())
 	counter("dlmond_throttle_seconds_total_nanos", "Cumulative admission-control pause imposed on tenants, in nanoseconds.", m.throttleNanos.Load())
+	counter("dlmond_sessions_recovered_total", "Sessions restored from durable checkpoints at startup.", m.sessionsRecovered.Load())
+	counter("dlmond_checkpoints_total", "Session checkpoints written to the state directory.", m.checkpointsTotal.Load())
+	counter("dlmond_checkpoint_errors_total", "Checkpoint writes or recoveries that failed.", m.checkpointErrors.Load())
 	gauge("dlmond_knowledge_bytes", "Estimated bytes of retained monitor knowledge across live sessions.", x.knowledgeBytes)
 	counter("dlmond_automaton_cache_hits_total", "Property registrations served from the compiled-automaton cache.", x.cacheHits)
 	counter("dlmond_automaton_cache_misses_total", "Property registrations that compiled a new automaton.", x.cacheMisses)

@@ -114,16 +114,35 @@ func (r *registry) send(sh *regShard, op regOp) error {
 // Add registers a session under a fresh id and returns it.
 func (r *registry) Add(s *session) (uint64, error) {
 	sid := r.nextID.Add(1)
+	return sid, r.addAs(sid, s)
+}
+
+// AddWithID registers a recovered session under its original id, advancing
+// the id counter past it so later fresh registrations cannot collide.
+func (r *registry) AddWithID(sid uint64, s *session) error {
+	if sid == 0 {
+		return fmt.Errorf("server: session id 0 is reserved")
+	}
+	for {
+		cur := r.nextID.Load()
+		if cur >= sid || r.nextID.CompareAndSwap(cur, sid) {
+			break
+		}
+	}
+	return r.addAs(sid, s)
+}
+
+func (r *registry) addAs(sid uint64, s *session) error {
 	s.id = sid
 	done := make(chan struct{}, 1)
 	if err := r.send(r.shardFor(sid), regOp{kind: opAdd, sid: sid, sess: s, done: done}); err != nil {
-		return 0, err
+		return err
 	}
 	select {
 	case <-done:
-		return sid, nil
+		return nil
 	case <-r.stop:
-		return 0, fmt.Errorf("server: registry stopped")
+		return fmt.Errorf("server: registry stopped")
 	}
 }
 

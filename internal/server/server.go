@@ -16,6 +16,12 @@
 // own connection; TCP flow control propagates it to that feeder only).
 // Observability is a plain net/http endpoint: /healthz and Prometheus-text
 // /metrics.
+//
+// With Config.StateDir set, sessions are durable: each one is checkpointed
+// to disk on a configurable event cadence (see checkpoint.go for the format
+// and the atomic-install discipline), recovered on the next start, and
+// re-adopted by its tenant with the Attach verb — the reply's fed counts
+// tell the feeder exactly where to resume the trace.
 package server
 
 import (
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +58,13 @@ type Config struct {
 	// MaxLag is forwarded to each session's core.SessionConfig (per-session
 	// backpressure); 0 selects the core default.
 	MaxLag int
+	// StateDir enables durable sessions: each session is checkpointed to
+	// <StateDir>/session-<id>.dmsn and recovered on the next start. Empty
+	// disables checkpointing.
+	StateDir string
+	// CheckpointEvery is the per-session checkpoint cadence in ingested
+	// events; 0 selects 256. Only meaningful with StateDir set.
+	CheckpointEvery int
 }
 
 // Server is a running dlmond instance.
@@ -88,6 +102,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Burst <= 0 {
 		cfg.Burst = cfg.Rate
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state directory: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: rpc listener: %w", err)
@@ -104,6 +126,13 @@ func New(cfg Config) (*Server, error) {
 		cancel:  cancel,
 		stop:    make(chan struct{}),
 		conns:   map[*srvConn]struct{}{},
+	}
+	if cfg.StateDir != "" {
+		if err := s.recoverSessions(); err != nil {
+			ln.Close()
+			cancel()
+			return nil, err
+		}
 	}
 	if cfg.MetricsAddr != "off" {
 		httpLn, err := net.Listen("tcp", cfg.MetricsAddr)
@@ -134,6 +163,76 @@ func (s *Server) MetricsAddr() string {
 		return ""
 	}
 	return s.httpLn.Addr().String()
+}
+
+// Recovered is the number of sessions restored from durable checkpoints at
+// startup.
+func (s *Server) Recovered() int64 { return s.mx.sessionsRecovered.Load() }
+
+// recoverSessions scans the state directory and re-registers every
+// checkpointed session under its original id with its epoch bumped. A
+// corrupt or unrestorable checkpoint is skipped (counted in
+// dlmond_checkpoint_errors_total), never fails startup: one bad file must
+// not take every other tenant's durable session down with it.
+func (s *Server) recoverSessions() error {
+	files, err := listCheckpoints(s.cfg.StateDir)
+	if err != nil {
+		s.reg.Close()
+		return err
+	}
+	for _, file := range files {
+		blob, err := os.ReadFile(file)
+		var ck *checkpointState
+		if err == nil {
+			ck, err = decodeCheckpoint(blob)
+		}
+		var sess *session
+		if err == nil {
+			sess, err = restoreSession(s.ctx, ck, s.cache, s.cfg.MaxLag, s.mx)
+		}
+		if err == nil {
+			err = s.reg.AddWithID(ck.sid, sess)
+			if err != nil {
+				sess.close()
+			}
+		}
+		if err != nil {
+			s.mx.checkpointErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "dlmond: skipping checkpoint %s: %v\n", file, err)
+			continue
+		}
+		s.mx.sessionsLive.Add(1)
+		s.mx.sessionsTotal.Add(1)
+		s.mx.sessionsRecovered.Add(1)
+	}
+	return nil
+}
+
+// maybeCheckpoint writes a session checkpoint when its cadence is due.
+func (s *Server) maybeCheckpoint(sess *session) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	if sess.sinceCkpt.Add(1) < int64(s.cfg.CheckpointEvery) {
+		return
+	}
+	s.checkpointNow(sess)
+}
+
+// checkpointNow snapshots one session and atomically installs the blob.
+// Failures are counted, not fatal: the previous checkpoint stays in place,
+// so a transient write error only widens the re-feed window.
+func (s *Server) checkpointNow(sess *session) {
+	sess.sinceCkpt.Store(0)
+	blob, err := sess.snapshot(s.ctx)
+	if err == nil {
+		err = writeCheckpoint(s.cfg.StateDir, sess.id, blob)
+	}
+	if err != nil {
+		s.mx.checkpointErrors.Add(1)
+		return
+	}
+	s.mx.checkpointsTotal.Add(1)
 }
 
 // scrapeExtra walks the registry at scrape time for the gauges that cannot
@@ -181,7 +280,9 @@ func (s *Server) acceptLoop() {
 }
 
 // Shutdown stops accepting, closes every connection, finalizes every live
-// session, and releases the listeners. Idempotent.
+// session, and releases the listeners. In durable mode every live session
+// is checkpointed first, so a clean shutdown loses nothing: the next start
+// recovers each session exactly where its feed stopped. Idempotent.
 func (s *Server) Shutdown() error {
 	s.shutOnce.Do(func() {
 		close(s.stop)
@@ -197,6 +298,9 @@ func (s *Server) Shutdown() error {
 		live := s.reg.Close()
 		var firstErr error
 		for _, sess := range live {
+			if s.cfg.StateDir != "" {
+				s.checkpointNow(sess)
+			}
 			if _, err := sess.close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -314,6 +418,7 @@ func (sc *srvConn) dispatch(m *dist.RPCMsg) bool {
 			return true
 		}
 		sc.srv.mx.eventsTotal.Add(1)
+		sc.srv.maybeCheckpoint(sess)
 	case dist.RPCEmit:
 		sess := sc.resolve(m.SID)
 		if sess == nil {
@@ -326,6 +431,7 @@ func (sc *srvConn) dispatch(m *dist.RPCMsg) bool {
 			return true
 		}
 		sc.srv.mx.eventsTotal.Add(1)
+		sc.srv.maybeCheckpoint(sess)
 		sc.write(&dist.RPCMsg{Kind: dist.RPCEmitted, SID: m.SID, MsgID: id})
 	case dist.RPCSubscribe:
 		sess := sc.resolve(m.SID)
@@ -353,6 +459,21 @@ func (sc *srvConn) dispatch(m *dist.RPCMsg) bool {
 			return true
 		}
 		sc.write(&dist.RPCMsg{Kind: dist.RPCAcked, SID: m.SID})
+	case dist.RPCAttach:
+		sess := sc.resolve(m.SID)
+		if sess == nil {
+			return true
+		}
+		// Attach pins (or checks) the connection's tenant just as Register
+		// does: a session is never adopted across tenants.
+		if sc.tenant == "" {
+			sc.tenant = sess.tenant
+		} else if sc.tenant != sess.tenant {
+			sc.writeErr(m.SID, fmt.Errorf("server: connection belongs to tenant %q, not %q", sc.tenant, sess.tenant))
+			return true
+		}
+		sc.write(&dist.RPCMsg{Kind: dist.RPCRegistered, SID: m.SID, CacheHit: true,
+			Epoch: sess.epoch, Fed: sess.cs.Fed()})
 	case dist.RPCClose:
 		sess := sc.resolve(m.SID)
 		if sess == nil {
@@ -361,6 +482,9 @@ func (sc *srvConn) dispatch(m *dist.RPCMsg) bool {
 		res, err := sess.close()
 		sc.srv.reg.Del(m.SID)
 		delete(sc.local, m.SID)
+		if sc.srv.cfg.StateDir != "" {
+			removeCheckpoint(sc.srv.cfg.StateDir, m.SID)
+		}
 		sc.srv.mx.sessionsLive.Add(-1)
 		if err != nil {
 			sc.writeErr(m.SID, err)
@@ -436,7 +560,7 @@ func (sc *srvConn) handleRegister(m *dist.RPCMsg) {
 		sc.writeErr(0, err)
 		return
 	}
-	sess, err := newSession(sc.srv.ctx, m.Tenant, key, core.SessionConfig{
+	sess, err := newSession(sc.srv.ctx, m.Tenant, key, m.Formula, core.SessionConfig{
 		N:         len(m.Init),
 		Automaton: mon,
 		Props:     m.Props,
@@ -456,5 +580,9 @@ func (sc *srvConn) handleRegister(m *dist.RPCMsg) {
 	sc.local[sid] = sess
 	sc.srv.mx.sessionsLive.Add(1)
 	sc.srv.mx.sessionsTotal.Add(1)
+	if sc.srv.cfg.StateDir != "" {
+		// Checkpoint at registration so an idle session survives a restart.
+		sc.srv.checkpointNow(sess)
+	}
 	sc.write(&dist.RPCMsg{Kind: dist.RPCRegistered, SID: sid, CacheHit: hit})
 }

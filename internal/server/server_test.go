@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -456,6 +457,335 @@ func TestServerRejectsProtocolMisuse(t *testing.T) {
 	if _, _, err := cl.Register("a", "G (", ts.InitialState(), ts.Props); err == nil {
 		t.Error("registering a malformed property succeeded")
 	}
+}
+
+// crash simulates a SIGKILL for durability tests: listeners, connections
+// and the registry are torn down and every session is abandoned — no
+// finalization, no farewell checkpoint. Whatever the cadence checkpoints
+// left on disk is exactly what a recovering daemon gets.
+func (s *Server) crash() {
+	s.shutOnce.Do(func() {
+		close(s.stop)
+		s.ln.Close()
+		if s.httpSrv != nil {
+			s.httpSrv.Close()
+		}
+		s.connMu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.connMu.Unlock()
+		s.reg.Close()
+		s.cancel()
+		s.wg.Wait()
+	})
+}
+
+// feedRemaining ingests the events the daemon has not absorbed, using the
+// per-process fed counts an Attach reply carries (SN is 1-based per
+// process, so the skipped prefix is exactly e.SN <= fed[e.Proc]).
+func feedRemaining(t *testing.T, cl *Client, sid uint64, evs []*dist.Event, fed []int) {
+	t.Helper()
+	for _, e := range evs {
+		if e.SN <= fed[e.Proc] {
+			continue
+		}
+		if err := cl.Ingest(sid, e); err != nil {
+			t.Fatalf("resumed ingest: %v", err)
+		}
+	}
+}
+
+// TestServerDurableRecovery is the tentpole acceptance: a durable daemon is
+// killed mid-session (no shutdown path runs), a new daemon over the same
+// state directory recovers the session, the tenant re-attaches, re-feeds
+// what was lost after the last checkpoint, and the terminal verdict set
+// equals an uninterrupted run's.
+func TestServerDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	evs := exampleEvents(t)
+	ts := dist.RunningExample()
+	want := expectedCodes(t, dist.RunningExampleProperty)
+	cfg := Config{StateDir: dir, CheckpointEvery: 2}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1.Shutdown() }) // no-op after crash
+	cl, err := Dial(s1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := cl.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 5
+	for _, e := range evs[:cut] {
+		if err := cl.Ingest(sid, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Attach is synchronous on the same connection, so its reply proves the
+	// fire-and-forget ingests above were all absorbed before the crash.
+	if _, fed, err := cl.Attach(sid); err != nil {
+		t.Fatal(err)
+	} else if got := fed[0] + fed[1]; got != cut {
+		t.Fatalf("daemon absorbed %d events (fed %v), sent %d", got, fed, cut)
+	}
+	cl.Close()
+	s1.crash()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart over %s: %v", dir, err)
+	}
+	defer s2.Shutdown()
+	if got := s2.Recovered(); got != 1 {
+		t.Fatalf("recovered %d sessions, want 1", got)
+	}
+	cl2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	epoch, fed, err := cl2.Attach(sid)
+	if err != nil {
+		t.Fatalf("attach after restart: %v", err)
+	}
+	if epoch != 1 {
+		t.Errorf("resume epoch = %d, want 1", epoch)
+	}
+	// The cadence checkpoints may trail the feed: everything up to the last
+	// checkpoint must be there, nothing beyond what was sent.
+	if total := fed[0] + fed[1]; total > cut || total < cut-cfg.CheckpointEvery {
+		t.Errorf("recovered fed counts %v (%d events) for %d sent at cadence %d",
+			fed, total, cut, cfg.CheckpointEvery)
+	}
+	feedRemaining(t, cl2, sid, evs, fed)
+	codes, err := cl2.CloseSession(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := codeString(codes); got != want {
+		t.Errorf("verdicts after crash/recover = {%s}, uninterrupted = {%s}", got, want)
+	}
+	// Closing removed the checkpoint: nothing to recover on the next start.
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("closed session left checkpoints behind: %v", files)
+	}
+
+	resp, err := http.Get("http://" + s2.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, wantLine := range []string{"dlmond_sessions_recovered_total 1", "dlmond_checkpoint_errors_total 0"} {
+		if !strings.Contains(string(body), wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestServerDurableEmitRecovery crashes a live-stamping session with a
+// message in flight: the send happened before the crash, the receive after
+// recovery. The checkpoint must carry the stamper clocks and the token
+// ledger for the resumed receive to stamp correctly.
+func TestServerDurableEmitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ts := dist.RunningExample()
+	want := expectedCodes(t, dist.RunningExampleProperty)
+	cfg := Config{StateDir: dir, CheckpointEvery: 1, MetricsAddr: "off"}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1.Shutdown() })
+	cl, err := Dial(s1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _, err := cl.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0: send(m1); x1=5; x1=10; recv(m2)   P1: recv(m1); x2=15; x2=20; send(m2)
+	m1, err := cl.Emit(sid, dist.Send, 0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Emit(sid, dist.Recv, 1, 0, m1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []dist.LocalState{0b01, 0b11} {
+		if _, err := cl.Emit(sid, dist.Internal, 0, -1, 0, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 2 {
+		if _, err := cl.Emit(sid, dist.Internal, 1, -1, 0, 0b1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := cl.Emit(sid, dist.Send, 1, 0, 0, 0b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	s1.crash() // m2 is now in flight across the crash
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown()
+	cl2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	epoch, fed, err := cl2.Attach(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || fed[0] != 3 || fed[1] != 4 {
+		t.Fatalf("resume state epoch %d fed %v, want epoch 1 fed [3 4] at cadence 1", epoch, fed)
+	}
+	if _, err := cl2.Emit(sid, dist.Recv, 0, 1, m2, 0b11); err != nil {
+		t.Fatalf("receive of pre-crash send after recovery: %v", err)
+	}
+	codes, err := cl2.CloseSession(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := codeString(codes); got != want {
+		t.Errorf("live-stamped verdicts across a crash = {%s}, want {%s}", got, want)
+	}
+
+	// Cross-tenant adoption is refused.
+	cl3, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl3.Close()
+	sid2, _, err := cl3.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl4, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl4.Close()
+	if _, _, err := cl4.Register("rival", "F (x1=10)", ts.InitialState(), ts.Props); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl4.Attach(sid2); err == nil || !strings.Contains(err.Error(), "tenant") {
+		t.Errorf("cross-tenant attach: %v", err)
+	}
+}
+
+// TestServerRecoverySkipsCorrupt pins the failure isolation: one corrupt
+// checkpoint must not stop the daemon from starting or from recovering the
+// other sessions.
+func TestServerRecoverySkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	ts := dist.RunningExample()
+	cfg := Config{StateDir: dir, CheckpointEvery: 1, MetricsAddr: "off"}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1.Shutdown() })
+	cl, err := Dial(s1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidA, _, err := cl.Register("acme", dist.RunningExampleProperty, ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidB, _, err := cl.Register("acme", "F (x1=10)", ts.InitialState(), ts.Props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronize (Attach replies after the registration checkpoints).
+	if _, _, err := cl.Attach(sidB); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	s1.crash()
+
+	// Corrupt session A's checkpoint mid-blob.
+	path := checkpointPath(dir, sidA)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x5A
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart with a corrupt checkpoint: %v", err)
+	}
+	defer s2.Shutdown()
+	if got := s2.Recovered(); got != 1 {
+		t.Errorf("recovered %d sessions, want 1 (the intact one)", got)
+	}
+	if got := s2.mx.checkpointErrors.Load(); got != 1 {
+		t.Errorf("checkpoint errors = %d, want 1", got)
+	}
+	cl2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, _, err := cl2.Attach(sidB); err != nil {
+		t.Errorf("intact session did not survive its neighbor's corruption: %v", err)
+	}
+	if _, _, err := cl2.Attach(sidA); err == nil {
+		t.Error("corrupt session attached")
+	}
+}
+
+// TestRegistryAddWithID pins the recovered-id discipline: restored sessions
+// keep their ids and fresh registrations never collide with them.
+func TestRegistryAddWithID(t *testing.T) {
+	r := newRegistry(2)
+	if err := r.AddWithID(7, &session{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddWithID(3, &session{}); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := r.Add(&session{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid <= 7 {
+		t.Errorf("fresh id %d collides with recovered id space (max 7)", sid)
+	}
+	for _, want := range []uint64{3, 7, sid} {
+		s, err := r.Get(want)
+		if err != nil || s == nil || s.id != want {
+			t.Errorf("Get(%d) = %+v, %v", want, s, err)
+		}
+	}
+	if err := r.AddWithID(0, &session{}); err == nil {
+		t.Error("AddWithID(0) accepted the reserved id")
+	}
+	r.Close()
 }
 
 // TestRegistryShards unit-tests the sharded session table.

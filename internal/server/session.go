@@ -27,11 +27,22 @@ type session struct {
 	n      int
 	cs     *core.Session
 
+	// formula, init and props are the registration inputs, kept verbatim so
+	// a durable checkpoint can re-register the session after a restart.
+	formula string
+	init    dist.GlobalState
+	props   *dist.PropMap
+	// epoch counts daemon restarts this session has survived (0 for a
+	// session registered by this daemon instance).
+	epoch uint64
+
 	// lastIngest is the wall clock (unix nanos) of the most recent event
 	// accepted, the reference point for verdict latency.
 	lastIngest atomic.Int64
 	// events ingested into this session.
 	events atomic.Int64
+	// sinceCkpt counts events since the last durable checkpoint.
+	sinceCkpt atomic.Int64
 
 	// Live stamping. stampMu serializes Emit calls for the session (the
 	// stamper is single-writer per process; one lock per session keeps the
@@ -63,7 +74,7 @@ type subscriber struct {
 	gone    func() bool
 }
 
-func newSession(ctx context.Context, tenant, key string, cfg core.SessionConfig, mx *metrics) (*session, error) {
+func newSession(ctx context.Context, tenant, key, formula string, cfg core.SessionConfig, mx *metrics) (*session, error) {
 	cfg.Shards = 1
 	cs, err := core.NewSession(ctx, cfg)
 	if err != nil {
@@ -72,6 +83,9 @@ func newSession(ctx context.Context, tenant, key string, cfg core.SessionConfig,
 	s := &session{
 		tenant:   tenant,
 		key:      key,
+		formula:  formula,
+		init:     append(dist.GlobalState(nil), cfg.Init...),
+		props:    cfg.Props,
 		n:        cfg.N,
 		cs:       cs,
 		stamper:  dist.NewStamper(cfg.N),
@@ -81,6 +95,77 @@ func newSession(ctx context.Context, tenant, key string, cfg core.SessionConfig,
 	s.lastIngest.Store(time.Now().UnixNano())
 	go s.pump(mx)
 	return s, nil
+}
+
+// restoreSession rebuilds a session from a decoded checkpoint: recompile
+// the property through the shared cache, restore the engine from the
+// embedded snapshot, and resume the stamper and token ledger. The epoch is
+// bumped — the Registered reply to an Attach tells the tenant how many
+// restarts the session has survived.
+func restoreSession(ctx context.Context, ck *checkpointState, cache *AutomatonCache, maxLag int, mx *metrics) (*session, error) {
+	key, f, err := CanonicalKey(ck.formula, ck.props)
+	if err != nil {
+		return nil, err
+	}
+	mon, _, err := cache.Get(key, f, ck.props)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := core.RestoreSession(ctx, core.SessionConfig{
+		N:         len(ck.init),
+		Automaton: mon,
+		Props:     ck.props,
+		Init:      ck.init,
+		MaxLag:    maxLag,
+		Shards:    1,
+	}, ck.engine)
+	if err != nil {
+		return nil, err
+	}
+	stamper, err := dist.RestoreStamper(len(ck.init), ck.stamper)
+	if err != nil {
+		cs.Close()
+		return nil, err
+	}
+	s := &session{
+		id:       ck.sid,
+		tenant:   ck.tenant,
+		key:      key,
+		formula:  ck.formula,
+		init:     ck.init,
+		props:    ck.props,
+		epoch:    ck.epoch + 1,
+		n:        len(ck.init),
+		cs:       cs,
+		stamper:  stamper,
+		tokens:   ck.tokens,
+		pumpDone: make(chan struct{}),
+	}
+	s.events.Store(ck.events)
+	s.lastIngest.Store(time.Now().UnixNano())
+	go s.pump(mx)
+	return s, nil
+}
+
+// snapshot captures the session as one checkpoint blob. Holding stampMu for
+// the whole capture keeps the stamper, the token ledger and the engine
+// mutually consistent: emit holds the same lock from stamping through
+// feeding, so the stamper is never observed one event ahead of the engine.
+// Pre-stamped ingests need no such pairing — the engine's own quiescence
+// protocol (core.Session.Snapshot) serializes against them.
+func (s *session) snapshot(ctx context.Context) ([]byte, error) {
+	s.stampMu.Lock()
+	defer s.stampMu.Unlock()
+	engine, err := s.cs.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := dist.NewSnapshotBuilder()
+	b.Record(ckTagMeta, appendCheckpointMeta(nil, s, s.epoch))
+	b.Record(ckTagStamper, dist.AppendStamperState(nil, s.stamper.State()))
+	b.Record(ckTagTokens, appendCheckpointTokens(nil, s.tokens))
+	b.Record(ckTagEngine, engine)
+	return b.Finish(), nil
 }
 
 // pump forwards verdict detections to subscribers and feeds the latency
@@ -153,9 +238,12 @@ func (s *session) ingest(e *dist.Event) error {
 
 // emit live-stamps one event and feeds it. For sends it returns the
 // message id the matching receive must present; receives look their token
-// up by that id.
+// up by that id. stampMu is held from stamping through feeding so a
+// checkpoint (session.snapshot) never captures a stamper that has clocked
+// an event the engine has not absorbed.
 func (s *session) emit(kind dist.EventType, proc, peer, msgID int, state dist.LocalState) (int, error) {
 	s.stampMu.Lock()
+	defer s.stampMu.Unlock()
 	var (
 		e   *dist.Event
 		id  int
@@ -175,11 +263,9 @@ func (s *session) emit(kind dist.EventType, proc, peer, msgID int, state dist.Lo
 	case dist.Recv:
 		tok, ok := s.tokens[msgID]
 		if !ok {
-			s.stampMu.Unlock()
 			return 0, fmt.Errorf("server: session %d: receive names unknown message %d", s.id, msgID)
 		}
 		if tok.To != proc {
-			s.stampMu.Unlock()
 			return 0, fmt.Errorf("server: session %d: message %d is addressed to process %d, not %d", s.id, msgID, tok.To, proc)
 		}
 		delete(s.tokens, msgID)
@@ -188,7 +274,6 @@ func (s *session) emit(kind dist.EventType, proc, peer, msgID int, state dist.Lo
 	default:
 		err = fmt.Errorf("server: session %d: unknown event kind %d", s.id, int(kind))
 	}
-	s.stampMu.Unlock()
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,158 @@
+package decentmon
+
+// Durable sessions: Snapshot captures a running session's complete
+// monitoring state — every monitor's automaton state set, knowledge window,
+// outstanding searches and parked protocol work, plus the session's
+// bookkeeping and the internal stamper's clocks — as a self-verifying blob,
+// and RestoreSession resumes an equivalent session from it. The blob is a
+// "DMSN" snapshot container (internal/dist) wrapping the engine snapshot and
+// the stamper state; any corruption or truncation is detected at restore.
+//
+// The contract mirrors the feeding contract: take a snapshot only while no
+// Process-handle call or Feed is in flight mid-call (concurrent calls are
+// paused and resumed safely, but a handle that has stamped an event and not
+// yet fed it would leave the stamper one event ahead of the engine).
+// Restore, then resume feeding each process at Fed()[p]+1; verdict events
+// delivered before the snapshot are re-delivered on the restored session's
+// Verdicts channel.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"decentmon/internal/core"
+	"decentmon/internal/dist"
+)
+
+// Facade snapshot record tags (tag 0 is the container's end record).
+const (
+	snapTagStamper = 1 // stamper state: message ids, clocks, timestamps
+	snapTagEngine  = 2 // the embedded core engine snapshot, itself a container
+)
+
+// Snapshot pauses the session at a proven-quiescent instant (every fed event
+// and every in-flight monitor message fully absorbed), captures its complete
+// state, and resumes it. The session keeps running; ctx bounds only the wait
+// for quiescence. Bounded sessions are not snapshottable — the path
+// evaluator is O(n) memory, so persisting the feed is the cheaper durability
+// story there.
+func (s *Session) Snapshot(ctx context.Context) ([]byte, error) {
+	if s.core == nil {
+		return nil, fmt.Errorf("decentmon: Bounded sessions have no snapshots; persist the feed instead")
+	}
+	engine, err := s.core.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := dist.NewSnapshotBuilder()
+	b.Record(snapTagStamper, dist.AppendStamperState(nil, s.stamper.State()))
+	b.Record(snapTagEngine, engine)
+	return b.Finish(), nil
+}
+
+// Fed returns, per process, how many events have been fed so far — for a
+// restored session, including everything fed before the snapshot. A feeder
+// resuming after RestoreSession continues process p at event Fed()[p]+1.
+// Bounded sessions return nil (they have no snapshot support).
+func (s *Session) Fed() []int {
+	if s.core == nil {
+		return nil
+	}
+	return s.core.Fed()
+}
+
+// RestoreSession resumes a session from a Snapshot blob. The spec, process
+// count and options must rebuild the configuration the snapshot was taken
+// under (same property compilation, mode, finalization and initial state —
+// all verified against fingerprints in the blob; a mismatch or any
+// corruption is an error, never a silently wrong monitor). Options that do
+// not change monitor state — WithContext, WithNetwork, WithMaxLag,
+// WithShards — may differ freely. Bounded and WithValidation sessions cannot
+// be restored: the path evaluator and the validator hold state a snapshot
+// does not carry.
+func RestoreSession(spec *Spec, n int, snap []byte, opts ...SessionOption) (*Session, error) {
+	o := buildOptions(opts)
+	if o.bounded {
+		return nil, fmt.Errorf("decentmon: Bounded sessions cannot be restored from a snapshot")
+	}
+	if o.validate {
+		return nil, fmt.Errorf("decentmon: WithValidation cannot resume from a snapshot: the validator's causal ledger is not captured")
+	}
+	if o.cfg.Pace != 0 {
+		return nil, fmt.Errorf("decentmon: sessions are live, not replays; WithPace applies to Run and RunStream")
+	}
+	if spec == nil || spec.mon == nil {
+		return nil, fmt.Errorf("decentmon: nil spec")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("decentmon: session needs at least one process")
+	}
+	for i, owner := range spec.Props.Owner {
+		if owner >= n {
+			return nil, fmt.Errorf("decentmon: proposition %q owned by process %d, session has %d", spec.Props.Names[i], owner, n)
+		}
+	}
+	init := o.init
+	if init == nil {
+		init = make(GlobalState, n)
+	}
+	if len(init) != n {
+		return nil, fmt.Errorf("decentmon: initial state has %d entries, session has %d processes", len(init), n)
+	}
+
+	r, err := dist.OpenSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	var stamper *dist.Stamper
+	var engine []byte
+	for {
+		tag, payload, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch tag {
+		case snapTagStamper:
+			if stamper != nil {
+				return nil, fmt.Errorf("decentmon: duplicate stamper record in snapshot")
+			}
+			st, err := dist.DecodeStamperState(payload)
+			if err != nil {
+				return nil, err
+			}
+			if stamper, err = dist.RestoreStamper(n, st); err != nil {
+				return nil, err
+			}
+		case snapTagEngine:
+			if engine != nil {
+				return nil, fmt.Errorf("decentmon: duplicate engine record in snapshot")
+			}
+			engine = payload
+		}
+	}
+	if stamper == nil || engine == nil {
+		return nil, fmt.Errorf("decentmon: snapshot is missing the %s record",
+			map[bool]string{true: "stamper", false: "engine"}[stamper == nil])
+	}
+
+	cs, err := core.RestoreSession(o.ctx, core.SessionConfig{
+		N:            n,
+		Automaton:    spec.mon,
+		Props:        spec.Props,
+		Init:         init,
+		Mode:         o.cfg.Mode,
+		SkipFinalize: o.cfg.SkipFinalize,
+		Network:      o.cfg.Network,
+		MaxBoxNodes:  o.cfg.MaxBoxNodes,
+		ExactBoxes:   o.cfg.ExactBoxes,
+		MaxLag:       o.cfg.MaxLag,
+		Shards:       o.cfg.Shards,
+	}, engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{spec: spec, n: n, stamper: stamper, start: time.Now(),
+		core: cs, verdicts: cs.Verdicts()}
+	return s, nil
+}
